@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Every ``test_fig*`` bench regenerates one paper table/figure: it prints
+the figure's rows (model/measured vs paper) and uses pytest-benchmark to
+time the *numeric* workload that underlies it, so `pytest benchmarks/
+--benchmark-only` both exercises the real computation and emits the
+reproduction tables.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,91 @@
+"""Design-choice ablation benches (the ablations DESIGN.md calls out).
+
+Not paper figures, but quantified justifications for the engine's
+design decisions: fused casts, tree collectives, the dispatcher's
+transition points, and grid-layout placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.dispatch import SBGEMVDispatcher
+from repro.blas.gemv_kernels import OptimizedSBGEMV, RocblasSBGEMV
+from repro.blas.types import BlasDatatype, GemvProblem, Operation
+from repro.comm.collectives import ring_allreduce_time, tree_collective_time
+from repro.comm.netmodel import FRONTIER_NETWORK
+from repro.gpu.specs import MI250X_GCD, MI300X
+from repro.perf.ablations import cast_boundaries, fused_vs_unfused
+from repro.util.tables import render_table
+
+
+class TestFusedCasts:
+    def test_fused_casts_ablation(self, benchmark):
+        # Section 3.2: casts fuse with adjacent memory ops "to reduce
+        # kernel launch latencies"
+        def ablation():
+            rows = []
+            for cfg in ("dssdd", "dssds", "sssss", "dsdsd"):
+                fused, unfused, ncasts = fused_vs_unfused(
+                    5000, 100, 1000, cfg, MI250X_GCD
+                )
+                rows.append((cfg, ncasts, fused, unfused, unfused / fused))
+            return rows
+
+        rows = benchmark(ablation)
+        print("\n" + render_table(
+            ["config", "casts", "fused (ms)", "unfused (ms)", "ratio"],
+            [[c, n, f"{f * 1e3:.3f}", f"{u * 1e3:.3f}", f"{r:.3f}"]
+             for c, n, f, u, r in rows],
+            title="Fused vs standalone cast kernels (MI250X, paper size)",
+        ))
+        for _, ncasts, fused, unfused, _ in rows:
+            assert unfused > fused
+            assert ncasts >= 2
+
+    def test_cast_boundaries_structure(self, benchmark):
+        bounds = benchmark(cast_boundaries, "dssdd")
+        # dssdd: double->single entering fft, single->double entering ifft
+        assert ("pad", "fft") in bounds and ("sbgemv", "ifft") in bounds
+
+
+class TestCollectiveAlgorithm:
+    def test_tree_vs_ring_ablation(self, benchmark):
+        # FFTMatvec's reductions are latency-bound: trees win at scale
+        def ablation():
+            rows = []
+            for p in (64, 512, 4096):
+                tree = tree_collective_time(p, 8e5, FRONTIER_NETWORK)
+                ring = ring_allreduce_time(p, 8e5, FRONTIER_NETWORK)
+                rows.append((p, tree, ring, ring / tree))
+            return rows
+
+        rows = benchmark(ablation)
+        print("\ntree vs ring for the 0.8 MB Phase-5 reduction:")
+        for p, tree, ring, ratio in rows:
+            print(f"  p={p:5d}: tree {tree * 1e3:9.3f} ms, "
+                  f"ring {ring * 1e3:9.3f} ms ({ratio:.0f}x)")
+        assert all(r[1] < r[2] for r in rows)
+
+
+class TestDispatcherTransitions:
+    def test_transition_points_are_load_bearing(self, benchmark):
+        # forcing either kernel everywhere must never beat the dispatcher
+        disp = SBGEMVDispatcher(MI300X)
+        shapes = [(64, 4096), (128, 4096), (512, 512), (2048, 2048), (4096, 8192)]
+
+        def ablation():
+            worst_roc, worst_opt = 1.0, 1.0
+            for m, n in shapes:
+                p = GemvProblem(m=m, n=n, batch=100,
+                                datatype=BlasDatatype.S, operation=Operation.T)
+                t_disp = disp.select(p).modeled_time(p, MI300X)
+                t_roc = RocblasSBGEMV().modeled_time(p, MI300X)
+                t_opt = OptimizedSBGEMV().modeled_time(p, MI300X)
+                worst_roc = max(worst_roc, t_roc / t_disp)
+                worst_opt = max(worst_opt, t_opt / t_disp)
+            return worst_roc, worst_opt
+
+        worst_roc, worst_opt = benchmark(ablation)
+        print(f"\nforcing rocBLAS everywhere: up to {worst_roc:.2f}x slower; "
+              f"forcing optimized everywhere: up to {worst_opt:.2f}x slower")
+        assert worst_roc > 1.5  # the optimized kernel matters

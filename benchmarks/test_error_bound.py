@@ -1,0 +1,76 @@
+"""Eq. (6) bench: the error bound vs measured errors, per phase.
+
+Regenerates the error-analysis picture of Section 3.2.1: for every
+single-phase-lowered configuration, the measured relative error and the
+per-phase bound contributions, confirming the SBGEMV term dominates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.error_model import phase_error_terms, relative_error_bound
+from repro.core.matvec import FFTMatvec
+from repro.core.precision import PrecisionConfig
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.util.dtypes import fill_low_mantissa
+from repro.util.tables import render_table
+
+
+class TestErrorBound:
+    def test_bound_vs_measured_all_configs(self, benchmark, rng):
+        nt, nd, nm = 64, 4, 48
+        matrix = BlockTriangularToeplitz.random(nt, nd, nm, rng=rng, decay=0.05)
+        engine = FFTMatvec(matrix)
+        kappa = matrix.condition_number_hat()
+        m = fill_low_mantissa(rng.standard_normal((nt, nm)))
+
+        def sweep():
+            ref = engine.matvec(m, config="ddddd")
+            rows = []
+            for cfg in PrecisionConfig.all_configs():
+                out = engine.matvec(m, config=cfg)
+                measured = float(
+                    np.linalg.norm(out - ref) / np.linalg.norm(ref)
+                )
+                bound = relative_error_bound(cfg, nt=nt, nm=nm, nd=nd, kappa=kappa)
+                rows.append((str(cfg), measured, bound))
+            return rows
+
+        rows = benchmark(sweep)
+        table = render_table(
+            ["config", "measured", "bound", "ok"],
+            [
+                [c, f"{m_:.2e}", f"{b:.2e}", "y" if m_ <= b else "VIOLATED"]
+                for c, m_, b in rows
+            ],
+            title=f"Eq. (6) bound vs measured (kappa={kappa:.1f})",
+        )
+        print("\n" + table)
+        assert all(m_ <= b for _, m_, b in rows)
+
+    def test_sbgemv_term_dominates(self, benchmark):
+        terms = benchmark(
+            phase_error_terms, "sssss", 1000, 5000, 100
+        )
+        print("\nper-phase bound contributions (paper size, sssss): "
+              + ", ".join(f"{k}={v:.2e}" for k, v in terms.items()))
+        assert terms["sbgemv"] == max(terms.values())
+
+    def test_error_vs_grid_shape(self, benchmark):
+        # the Figure-4 discussion: larger pr grows n_m (more SBGEMV
+        # error), smaller pc shrinks the reduction term
+        def shape_study():
+            out = []
+            for pr in (1, 8, 16):
+                terms = phase_error_terms(
+                    "dssds", 1000, 5000 * 4096, 100, pr=pr, pc=4096 // pr
+                )
+                out.append((pr, terms["sbgemv"], terms["unpad"]))
+            return out
+
+        rows = benchmark(shape_study)
+        print("\ngrid-shape error terms at 4096 GPUs:")
+        for pr, sb, up in rows:
+            print(f"  pr={pr:2d}: sbgemv={sb:.2e} reduce={up:.2e}")
+        assert rows[-1][1] > rows[0][1]  # sbgemv term grows with pr
+        assert rows[-1][2] < rows[0][2]  # reduce term shrinks with pc

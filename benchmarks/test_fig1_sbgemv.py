@@ -1,0 +1,77 @@
+"""Figure 1 bench: (conjugate) transpose SBGEMV, rocBLAS vs optimized.
+
+Regenerates the paper's rocblas-bench comparison (17 shape/datatype
+combinations on MI300X, batch 100) and times the real batched-GEMV
+numerics of the headline short-and-wide case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blas.bench import RocblasBench, make_fig1_yaml
+from repro.blas.gemv_kernels import OptimizedSBGEMV, RocblasSBGEMV
+from repro.blas.types import BlasDatatype, GemvProblem, Operation
+from repro.figures.fig1 import FIG1_DATATYPES, FIG1_SIZES, figure1
+from repro.gpu.specs import MI300X
+
+
+class TestFigure1:
+    def test_regenerate_figure1(self, benchmark):
+        rows, text = benchmark(figure1)
+        print("\n" + text)
+        # headline facts: optimized kernel never loses; biggest win on
+        # the most skewed, lightest-datatype shape
+        assert all(r.speedup >= 0.99 for r in rows)
+        best = max(rows, key=lambda r: r.speedup)
+        assert (best.datatype, best.m, best.n) == ("s", 128, 4096)
+
+    def test_rocblas_bench_yaml_workflow(self, benchmark):
+        # the artifact's workflow: one YAML config, two builds, compare
+        def run():
+            yaml_text = make_fig1_yaml(
+                FIG1_SIZES["z"], ["z"]
+            )
+            old = RocblasBench(MI300X, build="rocblas").run_yaml(yaml_text)
+            new = RocblasBench(MI300X, build="optimized").run_yaml(yaml_text)
+            return RocblasBench.comparison_table(old, new)
+
+        table = benchmark(run)
+        print("\n" + table)
+        assert "speedup" in table
+
+    @pytest.mark.parametrize("dt", FIG1_DATATYPES)
+    def test_numeric_sbgemv_transpose(self, benchmark, rng, dt):
+        # real numerics of one short-and-wide transposed SBGEMV per dtype
+        datatype = BlasDatatype.parse(dt)
+        op = Operation.C if datatype.is_complex else Operation.T
+        m, n, batch = 128, 1024, 16
+        problem = GemvProblem(m=m, n=n, batch=batch, datatype=datatype, operation=op)
+        if datatype.is_complex:
+            A = (rng.standard_normal((batch, m, n))
+                 + 1j * rng.standard_normal((batch, m, n))).astype(datatype.dtype)
+            x = (rng.standard_normal((batch, m))
+                 + 1j * rng.standard_normal((batch, m))).astype(datatype.dtype)
+        else:
+            A = rng.standard_normal((batch, m, n)).astype(datatype.dtype)
+            x = rng.standard_normal((batch, m)).astype(datatype.dtype)
+        kernel = OptimizedSBGEMV()
+        y = benchmark(kernel.run, A, x, problem)
+        assert y.shape == (batch, n)
+
+    def test_transition_point_derivation(self, benchmark):
+        # deriving the dispatcher's per-dtype transition points (the
+        # "benchmarking results used to set the kernel transition points")
+        from repro.blas.dispatch import SBGEMVDispatcher
+
+        def derive():
+            disp = SBGEMVDispatcher(MI300X)
+            return {
+                dt.value: disp.transition_point(
+                    dt, Operation.C if dt.is_complex else Operation.T
+                )
+                for dt in BlasDatatype
+            }
+
+        points = benchmark(derive)
+        print(f"\nkernel transition points (max m where optimized wins): {points}")
+        assert all(v >= 128 for v in points.values())

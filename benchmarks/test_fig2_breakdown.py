@@ -1,0 +1,67 @@
+"""Figure 2 bench: single-GPU matvec runtime breakdown on three GPUs.
+
+Regenerates the per-phase breakdown table at the paper's size
+(Nm=5000, Nd=100, Nt=1000, modeled) and times the real five-phase
+pipeline numerics at a reduced size on the simulated device.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matvec import FFTMatvec
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.figures.fig2 import figure2
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.specs import MI250X_GCD, MI300X, MI355X
+
+
+class TestFigure2:
+    def test_regenerate_figure2(self, benchmark):
+        entries, text = benchmark(figure2)
+        print("\n" + text)
+        f_times = {e.gpu: e.total_ms for e in entries if e.direction == "F"}
+        # paper facts: SBGEMV ~92%+, total time follows peak bandwidth
+        assert all(e.sbgemv_fraction > 0.9 for e in entries)
+        assert f_times["MI250X (Single GCD)"] > f_times["MI300X"] > f_times["MI355X"]
+
+    @pytest.mark.parametrize(
+        "spec", [MI250X_GCD, MI300X, MI355X], ids=lambda s: s.arch
+    )
+    def test_numeric_forward_pipeline(self, benchmark, rng, spec):
+        matrix = BlockTriangularToeplitz.random(64, 8, 128, rng=rng, decay=0.02)
+        engine = FFTMatvec(matrix, device=SimulatedDevice(spec))
+        m = rng.standard_normal((64, 128))
+        d = benchmark(engine.matvec, m)
+        assert d.shape == (64, 8)
+        print(f"\n{spec.name} modeled phases (reduced size): "
+              + ", ".join(f"{k}={v * 1e6:.1f}us"
+                          for k, v in engine.last_timing.phases.items()))
+
+    def test_numeric_adjoint_pipeline(self, benchmark, rng):
+        matrix = BlockTriangularToeplitz.random(64, 8, 128, rng=rng, decay=0.02)
+        engine = FFTMatvec(matrix, device=SimulatedDevice(MI300X))
+        d = rng.standard_normal((64, 8))
+        m = benchmark(engine.rmatvec, d)
+        assert m.shape == (64, 128)
+
+    def test_unoptimized_kernel_ablation(self, benchmark):
+        # Section 3.1.1's before/after: F* with and without the kernel
+        from repro.perf.phase_model import modeled_timing
+
+        def ablation():
+            rows = []
+            for spec in (MI250X_GCD, MI300X, MI355X):
+                t_opt = modeled_timing(5000, 100, 1000, "ddddd", spec,
+                                       adjoint=True).total
+                t_base = modeled_timing(5000, 100, 1000, "ddddd", spec,
+                                        adjoint=True,
+                                        use_optimized_sbgemv=False).total
+                rows.append((spec.name, t_base * 1e3, t_opt * 1e3, t_base / t_opt))
+            return rows
+
+        rows = benchmark(ablation)
+        print("\nF* matvec: original rocBLAS kernel vs optimized kernel")
+        for name, t_base, t_opt, speedup in rows:
+            print(f"  {name:22s} {t_base:7.3f} ms -> {t_opt:7.3f} ms "
+                  f"({speedup:.2f}x)")
+        assert all(r[3] > 1.2 for r in rows)

@@ -1,0 +1,79 @@
+"""Micro-benches of the substrates: FFT plans, reorders, collectives,
+hipify throughput — the pieces every figure builds on."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import tree_reduce_arrays
+from repro.core.phases import pad_to_soti, unpad_from_soti
+from repro.core.reorder import soti_to_tosi
+from repro.fft.plan import FFTPlan, FFTType
+from repro.fft.radix import fft_auto, fft_radix2
+from repro.hip.hipify import hipify_perl
+from repro.util.dtypes import Precision
+
+
+class TestFFTMicro:
+    @pytest.mark.parametrize("prec", ["d", "s"])
+    def test_batched_rfft(self, benchmark, rng, prec):
+        t = FFTType.D2Z if prec == "d" else FFTType.R2C
+        plan = FFTPlan(2048, 64, t)
+        x = rng.standard_normal((64, 2048)).astype(
+            np.float64 if prec == "d" else np.float32
+        )
+        out = benchmark(plan.execute, x)
+        assert out.shape == (64, 1025)
+
+    def test_radix2_vs_pocketfft(self, benchmark, rng):
+        x = rng.standard_normal((16, 1024)) + 1j * rng.standard_normal((16, 1024))
+        out = benchmark(fft_radix2, x)
+        np.testing.assert_allclose(out, np.fft.fft(x, axis=1), rtol=1e-9, atol=1e-9)
+
+    def test_bluestein_odd_length(self, benchmark, rng):
+        x = rng.standard_normal((4, 1000)) + 0j
+        out = benchmark(fft_auto, x)
+        np.testing.assert_allclose(out, np.fft.fft(x, axis=1), rtol=1e-8, atol=1e-8)
+
+
+class TestMemoryOpsMicro:
+    def test_pad(self, benchmark, rng):
+        v = rng.standard_normal((512, 256))
+        out = benchmark(pad_to_soti, v, Precision.SINGLE)
+        assert out.shape == (256, 1024)
+
+    def test_unpad(self, benchmark, rng):
+        v = rng.standard_normal((256, 1024))
+        out = benchmark(unpad_from_soti, v, 512, Precision.DOUBLE)
+        assert out.shape == (512, 256)
+
+    def test_reorder_with_fused_cast(self, benchmark, rng):
+        v = (rng.standard_normal((513, 256))
+             + 1j * rng.standard_normal((513, 256)))
+        out = benchmark(soti_to_tosi, v, Precision.SINGLE)
+        assert out.dtype == np.complex64
+
+
+class TestCommMicro:
+    @pytest.mark.parametrize("p", [16, 256])
+    def test_tree_reduce(self, benchmark, rng, p):
+        arrays = [rng.standard_normal(4096) for _ in range(p)]
+        out = benchmark(tree_reduce_arrays, arrays, Precision.SINGLE)
+        assert out.shape == (4096,)
+
+
+class TestHipifyMicro:
+    def test_translation_throughput(self, benchmark):
+        source = "\n".join(
+            [
+                "#include <cuda_runtime.h>",
+                "#include <cublas_v2.h>",
+            ]
+            + [
+                f"void k{i}(double* p) {{ cudaMalloc((void**)&p, {i}); "
+                f"cudaMemcpyAsync(p, p, {i}, cudaMemcpyDeviceToDevice, 0); "
+                "cudaFree(p); }"
+                for i in range(200)
+            ]
+        )
+        result = benchmark(hipify_perl, source)
+        assert result.stats.total >= 600

@@ -1,0 +1,124 @@
+"""Remark-1 benches: the "outer-loop" workloads that motivate the paper.
+
+A single matvec takes milliseconds; the payoff of mixed precision is in
+workloads that take millions of them — dense data-space Hessian
+assembly, optimal sensor placement, posterior UQ.  These benches run
+those workloads end to end (real numerics at laptop scale) and model the
+time the mixed configuration saves at paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matvec import FFTMatvec
+from repro.core.pipeline import HostModel, OverlappedMatvecRunner
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.specs import MI250X_GCD, MI300X
+from repro.inverse import (
+    GaussianPrior,
+    Grid1D,
+    HeatEquation1D,
+    LinearBayesianProblem,
+    LowRankPosterior,
+    ObservationOperator,
+    P2OMap,
+)
+from repro.inverse.refinement import solve_map_with_refinement
+from repro.perf.memory_model import min_gpus_for_problem
+from repro.perf.phase_model import modeled_timing
+
+
+@pytest.fixture(scope="module")
+def bayes_problem():
+    grid = Grid1D(24)
+    system = HeatEquation1D(grid, dt=0.04, kappa=0.2)
+    obs = ObservationOperator(grid.n, [4, 12, 19])
+    p2o = P2OMap(system, obs, nt=16)
+    prior = GaussianPrior(24, 16, gamma=5e-3, delta=4.0)
+    return LinearBayesianProblem(p2o, prior, noise_std=0.05)
+
+
+class TestHessianAssembly:
+    def test_dense_hessian_with_overlap(self, benchmark, rng):
+        # Section 4.2.2: dense-operator assembly overlaps matvecs with
+        # host vector generation/saving
+        matrix = BlockTriangularToeplitz.random(32, 4, 64, rng=rng, decay=0.05)
+        engine = FFTMatvec(matrix, device=SimulatedDevice(MI250X_GCD))
+        runner = OverlappedMatvecRunner(engine, HostModel(20e-6, 50e-6))
+
+        def assemble():
+            return runner.assemble_columns(list(range(32)), adjoint=True)
+
+        cols, report = benchmark(assemble)
+        print(f"\n{report.n_vectors} adjoint matvecs: device "
+              f"{report.device_time * 1e3:.2f} ms, host {report.host_time * 1e3:.2f} ms;"
+              f" serial {report.serial_total * 1e3:.2f} ms -> overlapped "
+              f"{report.overlapped_total * 1e3:.2f} ms "
+              f"({report.overlap_speedup:.2f}x)")
+        assert report.overlap_speedup > 1.0
+        assert cols.shape == (32 * 64, 32)
+
+    def test_remark1_scale_projection(self, benchmark):
+        # the paper's O(1e5) matvecs for a sensor-placement Hessian:
+        # project the mixed-precision saving at paper scale
+        def project():
+            n_matvecs = 2 * 100 * 1000  # Nd * Nt actions of F and F*
+            t_double = modeled_timing(5000, 100, 1000, "ddddd", MI250X_GCD).total
+            t_mixed = modeled_timing(5000, 100, 1000, "dssdd", MI250X_GCD).total
+            return n_matvecs * t_double, n_matvecs * t_mixed
+
+        t_d, t_m = benchmark(project)
+        print(f"\nre-assembling one dense data-space Hessian "
+              f"(2*Nd*Nt = 200k matvecs): {t_d / 60:.1f} min double -> "
+              f"{t_m / 60:.1f} min mixed ({t_d / t_m:.2f}x)")
+        assert t_d / t_m > 1.5  # the Remark-1 payoff
+
+
+class TestPosteriorUQ:
+    def test_lowrank_posterior(self, benchmark, bayes_problem):
+        post = benchmark.pedantic(
+            LowRankPosterior.compute,
+            args=(bayes_problem, 16),
+            kwargs={"rng": np.random.default_rng(0)},
+            rounds=1,
+            iterations=1,
+        )
+        print(f"\nrank-16 posterior: {post.hessian_actions} Hessian actions, "
+              f"EIG {post.information_gain():.2f} nats, "
+              f"lam_1={post.eigenvalues[0]:.2f}")
+        assert post.information_gain() > 0
+        var = post.pointwise_variance()
+        assert np.all(var > 0)
+
+
+class TestIterativeRefinement:
+    def test_refinement_vs_double_cg(self, benchmark, bayes_problem, rng):
+        d = rng.standard_normal((16, 3))
+
+        def solve():
+            return solve_map_with_refinement(
+                bayes_problem, d, inner_config="dssdd", tol=1e-10
+            )
+
+        res = benchmark(solve)
+        print(f"\nrefinement: {res.outer_iterations} outer, "
+              f"{res.inner_iterations_total} mixed-precision inner iters, "
+              f"final residual {res.final_relative_residual:.1e}")
+        assert res.converged
+
+
+class TestCapacityPlanning:
+    def test_billion_parameter_sizing(self, benchmark):
+        # Section 4.2.2's capacity discussion across GPU generations
+        def size():
+            out = {}
+            for spec in (MI250X_GCD, MI300X):
+                out[spec.name] = min_gpus_for_problem(
+                    1_000_000, 600, 1000, spec
+                )
+            return out
+
+        counts = benchmark(size)
+        print(f"\nGPUs needed for the 1B-parameter problem of [21]: {counts}")
+        assert counts["MI300X"] < counts["MI250X (Single GCD)"]

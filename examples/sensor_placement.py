@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Optimal sensor placement — the "outer-loop" problem of the paper's
+Remark 1: greedily choose sensor locations maximizing expected
+information gain (KL divergence prior→posterior), re-assembling the
+data-space Hessian with FFT matvecs at every candidate evaluation.
+
+This is where the mixed-precision speedup compounds: thousands of F/F*
+actions per placement decision.
+
+Run:  python examples/sensor_placement.py
+"""
+
+import numpy as np
+
+from repro.inverse import GaussianPrior, Grid1D, AdvectionDiffusion1D
+from repro.inverse.oed import greedy_sensor_placement
+
+# Contaminant transport: advection-diffusion with rightward flow.
+grid = Grid1D(32)
+system = AdvectionDiffusion1D(grid, dt=0.02, kappa=0.02, velocity=0.8)
+nt = 24
+prior = GaussianPrior(grid.n, nt, gamma=2e-3, delta=6.0)
+noise_std = 0.02
+
+# Candidate sensor sites spread over the domain.
+candidates = [2, 6, 10, 14, 18, 22, 26, 30]
+print(f"greedy OED: choose 3 of {len(candidates)} candidate sites "
+      f"(Nm={grid.n}, Nt={nt})\n")
+
+for config in ("ddddd", "dssdd"):
+    result = greedy_sensor_placement(
+        system,
+        candidates,
+        n_select=3,
+        nt=nt,
+        prior=prior,
+        noise_std=noise_std,
+        config=config,
+    )
+    sites = [round(float(grid.points[i]), 3) for i in result.selected]
+    print(f"config {config}:")
+    print(f"  selected sites x = {sites} (indices {result.selected})")
+    print(f"  EIG after each pick: {[round(g, 4) for g in result.gains]}")
+    print(f"  candidate evaluations: {result.evaluations}, "
+          f"FFT matvecs spent: {result.matvec_count}\n")
+
+print("Both precision configurations must select the same sensors: the")
+print("1e-7-level matvec error is far below the information-gain gaps.")
+print("With flow to the right, informative sensors sit downstream of the")
+print("prior mass — exactly what the greedy picks show.")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Bayesian source inversion for a 1-D heat equation (the paper's
+application context, Section 2): infer a space-time heat source from a
+handful of noisy point sensors, with the p2o map applied via FFTMatvec.
+
+Demonstrates that the mixed-precision matvec configuration leaves the
+MAP estimate essentially unchanged while (on real hardware) nearly
+doubling the matvec throughput.
+
+Run:  python examples/source_inversion.py
+"""
+
+import numpy as np
+
+from repro.gpu import SimulatedDevice
+from repro.inverse import (
+    GaussianPrior,
+    Grid1D,
+    HeatEquation1D,
+    LinearBayesianProblem,
+    ObservationOperator,
+    P2OMap,
+)
+
+rng = np.random.default_rng(7)
+
+# --- forward model: heat equation on 48 grid points, 64 time steps -------
+grid = Grid1D(48)
+system = HeatEquation1D(grid, dt=0.02, kappa=0.08)
+nt = 64
+
+# 5 sensors (Nd << Nm: the short-and-wide regime of the paper).
+sensor_x = [0.15, 0.3, 0.5, 0.7, 0.85]
+obs = ObservationOperator(grid.n, [grid.nearest_index(x) for x in sensor_x])
+p2o = P2OMap(system, obs, nt, device=SimulatedDevice("MI250X"))
+print(f"p2o map: Nt={nt}, Nd={obs.nd}, Nm={grid.n} "
+      f"(matrix {p2o.matrix.shape[0]}x{p2o.matrix.shape[1]})")
+
+# --- ground truth: a smooth localized source pulse ------------------------
+x = grid.points
+t = np.arange(nt) * system.dt
+m_true = (
+    np.exp(-((x[None, :] - 0.4) ** 2) / 0.01)
+    * np.exp(-((t[:, None] - 0.35) ** 2) / 0.02)
+)
+
+# --- synthetic data with 1% noise ------------------------------------------
+d_clean = p2o.apply(m_true)
+noise_std = 0.01 * float(np.abs(d_clean).max())
+d_obs = d_clean + noise_std * rng.standard_normal(d_clean.shape)
+print(f"data: {d_obs.shape}, noise std {noise_std:.3e}")
+
+# --- MAP estimation, double vs mixed precision -----------------------------
+prior = GaussianPrior(grid.n, nt, gamma=3e-3, delta=8.0)
+problem = LinearBayesianProblem(p2o, prior, noise_std)
+
+for config in ("ddddd", "dssdd"):
+    result = problem.solve_map(d_obs, config=config, tol=1e-8, maxiter=400)
+    rel = np.linalg.norm(result.m_map - m_true) / np.linalg.norm(m_true)
+    print(
+        f"config {config}: CG iters={result.cg.iterations:3d} "
+        f"converged={result.cg.converged}  misfit={result.misfit:9.2f}  "
+        f"recovery rel err={rel:.3f}"
+    )
+
+# The two MAP estimates should agree far below the noise level.
+map_d = problem.solve_map(d_obs, config="ddddd").m_map
+map_s = problem.solve_map(d_obs, config="dssdd").m_map
+diff = np.linalg.norm(map_d - map_s) / np.linalg.norm(map_d)
+print(f"\nMAP(double) vs MAP(dssdd): rel diff = {diff:.2e} "
+      f"(noise-to-signal ~ {noise_std / np.abs(d_clean).max():.0e})")

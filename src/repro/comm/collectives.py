@@ -1,0 +1,128 @@
+"""Collective algorithms: tree numerics + cost formulas.
+
+Two concerns live here, deliberately together so tests can check they
+stay consistent:
+
+* **Numerics** — :func:`tree_reduce_arrays` reduces a list of per-rank
+  arrays pairwise in a binary tree, with every addition performed in the
+  requested precision.  This is how RCCL's tree reduction accumulates,
+  and it is what makes the measured reduction error grow like
+  ``eps * log2(p)`` — the Phase-5 term of the paper's Eq. (6).
+* **Cost** — :func:`tree_collective_time` models a tree
+  broadcast/reduce over ``k`` ranks whose placement spans ``span``
+  consecutive ranks: the top ``log2(groups)`` tree levels cross groups
+  (congested, see :class:`~repro.comm.netmodel.NetworkModel`), the rest
+  stay inside a group.  Large messages pipeline, so the volume term is
+  paid once at the bottleneck link, not per level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.netmodel import NetworkModel
+from repro.util.dtypes import Precision, cast_to
+from repro.util.validation import ReproError
+
+__all__ = [
+    "tree_reduce_arrays",
+    "tree_collective_time",
+    "ring_allreduce_time",
+    "log2_steps",
+]
+
+
+def log2_steps(k: int) -> int:
+    """Number of tree levels for k participants: ceil(log2(k))."""
+    if k < 1:
+        raise ReproError(f"k must be >= 1, got {k}")
+    return int(math.ceil(math.log2(k))) if k > 1 else 0
+
+
+def tree_reduce_arrays(
+    arrays: Sequence[np.ndarray],
+    precision: Optional[Precision] = None,
+) -> np.ndarray:
+    """Binary-tree pairwise sum of per-rank arrays.
+
+    All additions are evaluated at ``precision`` (default: the precision
+    of the inputs), reproducing the accumulation order of an RCCL tree
+    reduction.  The result keeps the computation dtype; the caller casts
+    back as its precision configuration dictates.
+    """
+    if len(arrays) == 0:
+        raise ReproError("cannot reduce zero arrays")
+    work: List[np.ndarray] = [
+        cast_to(np.asarray(a), precision) if precision is not None else np.asarray(a)
+        for a in arrays
+    ]
+    shape = work[0].shape
+    for i, a in enumerate(work):
+        if a.shape != shape:
+            raise ReproError(
+                f"rank {i} contribution has shape {a.shape}, expected {shape}"
+            )
+    while len(work) > 1:
+        nxt: List[np.ndarray] = []
+        for i in range(0, len(work) - 1, 2):
+            nxt.append(work[i] + work[i + 1])
+        if len(work) % 2 == 1:
+            nxt.append(work[-1])
+        work = nxt
+    return work[0]
+
+
+def tree_collective_time(
+    k: int,
+    nbytes: float,
+    net: NetworkModel,
+    span: Optional[int] = None,
+) -> float:
+    """Modeled seconds for a tree broadcast/reduce over ``k`` ranks.
+
+    Parameters
+    ----------
+    k:
+        Number of participating ranks.
+    nbytes:
+        Message size per rank.
+    span:
+        Number of consecutive machine ranks the participants are spread
+        over (>= k); defaults to ``k`` (contiguous placement).
+    """
+    if k < 1:
+        raise ReproError(f"k must be >= 1, got {k}")
+    if nbytes < 0:
+        raise ReproError(f"nbytes must be >= 0, got {nbytes}")
+    if k == 1:
+        return 0.0
+    span = k if span is None else max(span, k)
+    groups = net.groups_spanned(span)
+    steps = log2_steps(k)
+    inter_steps = min(steps, log2_steps(groups))
+    intra_steps = steps - inter_steps
+    t = intra_steps * net.alpha_intra + inter_steps * net.inter_step_latency(k)
+    # Pipelined volume: paid once over the slowest link on the path.
+    beta = net.beta_inter if inter_steps > 0 else net.beta_intra
+    t += nbytes * beta
+    return t
+
+
+def ring_allreduce_time(k: int, nbytes: float, net: NetworkModel) -> float:
+    """Ring allreduce: 2(k-1) steps, 2(k-1)/k of the volume per link.
+
+    Used by the ablation benches to compare against the tree model.
+    """
+    if k < 1:
+        raise ReproError(f"k must be >= 1, got {k}")
+    if k == 1:
+        return 0.0
+    steps = 2 * (k - 1)
+    volume = 2.0 * (k - 1) / k * nbytes
+    groups = net.groups_spanned(k)
+    if groups > 1:
+        return steps * net.inter_step_latency(k) + volume * net.beta_inter
+    return steps * net.alpha_intra + volume * net.beta_intra

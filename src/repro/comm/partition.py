@@ -1,0 +1,113 @@
+"""Communication-aware partitioning (Section 3.7 of the FFTMatvec paper).
+
+Given the problem size, GPU count and network parameters, choose the
+processor-grid shape ``(pr, pc)`` minimizing the modeled communication
+cost of one F matvec:
+
+* Phase 1 broadcasts each column's local parameter block (``nm * Nt``
+  doubles, ``nm = Nm/pc``) down the ``pr`` members of the column — a
+  strided, machine-spanning collective;
+* Phase 5 reduces each row's local data block (``(Nd/pr) * Nt`` doubles)
+  across the ``pc`` contiguous members of the row.
+
+With one row the broadcast vanishes but the reduction spans every rank;
+past the network's group size the congested global tree makes multi-row
+grids win — the paper reports 1 row through 512 GPUs, 8 rows for
+1024–2048, 16 rows at 4096, and a >3x gain from partitioning at 4096.
+:func:`published_frontier_rows` records that published schedule;
+:func:`communication_aware_partition` computes the model's argmin.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.comm.collectives import tree_collective_time
+from repro.comm.netmodel import FRONTIER_NETWORK, NetworkModel
+from repro.util.validation import ReproError, check_positive_int
+
+__all__ = [
+    "matvec_comm_cost",
+    "communication_aware_partition",
+    "published_frontier_rows",
+    "candidate_rows",
+]
+
+_ITEM = 8  # double-precision bytes; comm buffers are FP64 by default
+
+
+def matvec_comm_cost(
+    nm_global: int,
+    nd: int,
+    nt: int,
+    pr: int,
+    pc: int,
+    net: NetworkModel = FRONTIER_NETWORK,
+    itemsize: int = _ITEM,
+) -> float:
+    """Modeled communication seconds of one F matvec on a pr x pc grid.
+
+    ``nm_global`` is the total spatial parameter count; each grid column
+    owns ``ceil(nm_global/pc)`` of it.
+    """
+    check_positive_int(pr, "pr")
+    check_positive_int(pc, "pc")
+    p = pr * pc
+    nm_local = -(-nm_global // pc)
+    nd_local = -(-nd // pr)
+    bcast_bytes = nm_local * nt * itemsize
+    reduce_bytes = nd_local * nt * itemsize
+    # Column broadcast: pr members, strided by pc, spanning ~the machine.
+    col_span = (pr - 1) * pc + 1
+    t_bcast = tree_collective_time(pr, bcast_bytes, net, span=col_span)
+    # Row reduction: pc contiguous members.
+    t_reduce = tree_collective_time(pc, reduce_bytes, net, span=pc)
+    return t_bcast + t_reduce
+
+
+def candidate_rows(p: int) -> Tuple[int, ...]:
+    """Power-of-two row counts dividing p (the shapes the paper sweeps)."""
+    check_positive_int(p, "p")
+    out = []
+    r = 1
+    while r <= p:
+        if p % r == 0:
+            out.append(r)
+        r *= 2
+    return tuple(out)
+
+
+def communication_aware_partition(
+    nm_global: int,
+    nd: int,
+    nt: int,
+    p: int,
+    net: NetworkModel = FRONTIER_NETWORK,
+    rows_to_try: Optional[Iterable[int]] = None,
+) -> Tuple[int, int]:
+    """Choose (pr, pc) minimizing the modeled matvec communication cost."""
+    check_positive_int(p, "p")
+    best: Optional[Tuple[float, int]] = None
+    for pr in rows_to_try if rows_to_try is not None else candidate_rows(p):
+        if p % pr != 0:
+            raise ReproError(f"pr={pr} does not divide p={p}")
+        pc = p // pr
+        cost = matvec_comm_cost(nm_global, nd, nt, pr, pc, net=net)
+        if best is None or cost < best[0] or (cost == best[0] and pr < best[1]):
+            best = (cost, pr)
+    assert best is not None
+    return best[1], p // best[1]
+
+
+def published_frontier_rows(p: int) -> int:
+    """The paper's published Frontier schedule (Section 4.2.2).
+
+    One processor row for <= 512 GPUs, eight rows for 1024 and 2048
+    GPUs, sixteen rows for 4096 GPUs.
+    """
+    check_positive_int(p, "p")
+    if p <= 512:
+        return 1
+    if p <= 2048:
+        return 8 if p % 8 == 0 else 1
+    return 16 if p % 16 == 0 else 1

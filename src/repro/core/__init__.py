@@ -1,0 +1,39 @@
+"""FFTMatvec core: the paper's primary contribution.
+
+* :mod:`repro.core.toeplitz` — :class:`BlockTriangularToeplitz`: the
+  block lower-triangular Toeplitz matrix ``F`` (only the first block
+  column is stored), its dense materialization and reference matvecs.
+* :mod:`repro.core.precision` — :class:`PrecisionConfig`: the 5-phase
+  mixed-precision configuration (``-prec xxxxx``), all 32 configurations.
+* :mod:`repro.core.reorder` — SOTI/TOSI layout conversions (the pure
+  memory reorder phases around the SBGEMV).
+* :mod:`repro.core.phases` — zero-pad / unpad kernels with fused casts
+  and device-time accounting.
+* :mod:`repro.core.matvec` — :class:`FFTMatvec`: the five-phase engine
+  for F and F* matvecs on one (simulated) GPU.
+* :mod:`repro.core.parallel` — :class:`ParallelFFTMatvec`: SPMD
+  execution over a 2D process grid with broadcast/reduce collectives.
+* :mod:`repro.core.error_model` — the first-order error bound, Eq. (6).
+* :mod:`repro.core.pareto` — Pareto-front analysis over the 32 configs.
+"""
+
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.core.precision import PrecisionConfig, PHASE_NAMES
+from repro.core.matvec import FFTMatvec
+from repro.core.parallel import ParallelFFTMatvec
+from repro.core.error_model import relative_error_bound, ErrorModelParams
+from repro.core.pareto import ParetoPoint, pareto_front, sweep_configs, optimal_config
+
+__all__ = [
+    "BlockTriangularToeplitz",
+    "PrecisionConfig",
+    "PHASE_NAMES",
+    "FFTMatvec",
+    "ParallelFFTMatvec",
+    "relative_error_bound",
+    "ErrorModelParams",
+    "ParetoPoint",
+    "pareto_front",
+    "sweep_configs",
+    "optimal_config",
+]

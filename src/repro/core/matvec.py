@@ -1,0 +1,329 @@
+"""The FFTMatvec engine: five-phase F / F* matvecs on one (simulated) GPU.
+
+Algorithm (paper Section 2.4) for ``d = F m``:
+
+1. **pad** — broadcast (trivial on one GPU) and zero-pad the input into
+   the circulant embedding, converting to space-outer layout;
+2. **fft** — batched real-to-complex FFT of every spatial point's time
+   series (length ``2*Nt``, giving ``Nt+1`` frequencies);
+3. **sbgemv** — per-frequency block-diagonal matvec
+   ``d_hat[k] = F_hat[k] @ m_hat[k]`` as one strided-batched GEMV
+   (batch ``Nt+1``), via the rocBLAS dispatcher;
+4. **ifft** — batched complex-to-real inverse FFT of the outputs;
+5. **unpad** — drop the padding, reduce across the process grid (a
+   no-op here; see :mod:`repro.core.parallel`), return to time-outer
+   layout.
+
+``F* d`` runs the same pipeline with the conjugate-transpose SBGEMV and
+input/output roles swapped.  Every phase computes in the precision its
+:class:`~repro.core.precision.PrecisionConfig` assigns; casts are fused
+into the adjacent memory operations; inputs and outputs are always
+double precision (Section 3.2).  The spectrum ``F_hat`` is precomputed
+in double precision at setup, with the ``1/(2*Nt)`` inverse-transform
+normalization folded in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.blas.dispatch import SBGEMVDispatcher
+from repro.blas.types import Operation
+from repro.core.phases import pad_to_soti, unpad_from_soti
+from repro.core.precision import PrecisionConfig
+from repro.core.reorder import soti_to_tosi, tosi_to_soti
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.fft.plan import FFTPlan, FFTType
+from repro.gpu.device import SimulatedDevice
+from repro.util.dtypes import Precision, cast_to, complex_dtype
+from repro.util.timing import TimingReport
+from repro.util.validation import ReproError
+
+__all__ = ["FFTMatvec"]
+
+_PHASES = ("pad", "fft", "sbgemv", "ifft", "unpad")
+
+
+class FFTMatvec:
+    """FFT-based matvec engine for a block lower-triangular Toeplitz matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A :class:`BlockTriangularToeplitz` or a raw ``(Nt, Nd, Nm)``
+        kernel-block array.
+    device:
+        Optional :class:`SimulatedDevice`; when given, every phase
+        charges modeled time to the device clock and ``last_timing``
+        holds the per-phase breakdown of the most recent call.
+    use_optimized_sbgemv:
+        When False, the dispatcher is bypassed and the original rocBLAS
+        kernel handles the (conjugate) transpose SBGEMV too — the
+        pre-optimization behaviour used in ablation benches.
+    """
+
+    def __init__(
+        self,
+        matrix: Union[BlockTriangularToeplitz, np.ndarray],
+        device: Optional[SimulatedDevice] = None,
+        use_optimized_sbgemv: bool = True,
+    ) -> None:
+        self.matrix = (
+            matrix
+            if isinstance(matrix, BlockTriangularToeplitz)
+            else BlockTriangularToeplitz(np.asarray(matrix))
+        )
+        self.device = device
+        self.use_optimized_sbgemv = use_optimized_sbgemv
+        self.nt = self.matrix.nt
+        self.nd = self.matrix.nd
+        self.nm = self.matrix.nm
+        self.n_pad = 2 * self.nt
+        self.n_freq = self.nt + 1
+
+        spec = device.spec if device is not None else None
+        self.dispatcher = SBGEMVDispatcher(spec) if spec is not None else None
+
+        # Setup: F_hat in double precision (one-time, not perf-critical),
+        # with the 1/(2*Nt) inverse normalization folded in.
+        self._fhat: Dict[Precision, np.ndarray] = {}
+        self._fhat[Precision.DOUBLE] = self._setup_spectrum()
+        self.setup_time = (
+            self.device.clock.phase_total("setup") if self.device is not None else 0.0
+        )
+
+        self._plans: Dict[Tuple[str, Precision, int], FFTPlan] = {}
+        self.last_timing: Optional[TimingReport] = None
+        self.matvec_count = 0
+
+    # -- setup -----------------------------------------------------------------
+    def _setup_spectrum(self) -> np.ndarray:
+        """Precompute F_hat (always double precision, Section 3.2).
+
+        Follows the real code's data flow: the kernel blocks arrive
+        lag-major ``(Nt, Nd, Nm)``; the batched FFT wants lag-contiguous
+        ``(Nd, Nm, 2*Nt)``, and the strided-batched GEMV wants
+        frequency-major ``(Nt+1, Nd, Nm)`` — two 3-D permutations around
+        the FFT.  These are the permutations cuTENSOR performed in the
+        original CUDA code and the custom kernel performs after
+        hipification (see :mod:`repro.blas.permute`).
+        """
+        import contextlib
+
+        from repro.blas.permute import permute3d
+
+        ctx = (
+            self.device.clock.phase("setup")
+            if self.device is not None
+            else contextlib.nullcontext()
+        )
+        with ctx:
+            return self._setup_spectrum_inner(permute3d)
+
+    def _setup_spectrum_inner(self, permute3d) -> np.ndarray:
+        padded = self.matrix.padded_kernel()  # (2*Nt, Nd, Nm), lag-major
+        # (2Nt, Nd, Nm) -> (Nd, Nm, 2Nt): lags contiguous for the FFT.
+        lag_inner = permute3d(padded, (1, 2, 0), device=self.device, phase="setup")
+        plan = FFTPlan(
+            n=self.n_pad,
+            batch=self.nd * self.nm,
+            fft_type=FFTType.D2Z,
+            device=self.device,
+        )
+        spec = plan.execute(
+            lag_inner.reshape(self.nd * self.nm, self.n_pad), phase="setup"
+        ).reshape(self.nd, self.nm, self.n_freq)
+        # (Nd, Nm, Nt+1) -> (Nt+1, Nd, Nm): frequency-major for SBGEMV.
+        freq_major = permute3d(spec, (2, 0, 1), device=self.device, phase="setup")
+        scale = 1.0 / float(self.n_pad)  # fold in the IFFT normalization
+        return (freq_major * scale).astype(np.complex128)
+
+    def _fhat_double_for_tests(self) -> np.ndarray:
+        """The double-precision spectrum (test hook)."""
+        return self._fhat[Precision.DOUBLE]
+
+    # -- cached resources ----------------------------------------------------
+    def spectrum(self, precision: Precision) -> np.ndarray:
+        """F_hat at the requested precision (single copy cached lazily)."""
+        precision = Precision.parse(precision)
+        if precision not in self._fhat:
+            self._fhat[precision] = cast_to(
+                self._fhat[Precision.DOUBLE], precision
+            )
+        return self._fhat[precision]
+
+    def _plan(self, kind: str, precision: Precision, batch: int) -> FFTPlan:
+        key = (kind, precision, batch)
+        if key not in self._plans:
+            if kind == "fwd":
+                t = FFTType.real_forward(precision)
+            else:
+                t = FFTType.real_inverse(precision)
+            self._plans[key] = FFTPlan(
+                n=self.n_pad, batch=batch, fft_type=t, device=self.device
+            )
+        return self._plans[key]
+
+    # -- phase wrappers ------------------------------------------------------
+    def _phase_ctx(self, name: str):
+        if self.device is not None:
+            return self.device.clock.phase(name)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def _run_sbgemv(
+        self, mhat: np.ndarray, operation: Operation, precision: Precision
+    ) -> np.ndarray:
+        fhat = self.spectrum(precision)
+        if self.dispatcher is not None:
+            if self.use_optimized_sbgemv:
+                return self.dispatcher.gemv_strided_batched(
+                    fhat, mhat, operation, device=self.device, phase="sbgemv"
+                )
+            # Ablation: force the original kernel through the same path.
+            from repro.blas.gemv_kernels import RocblasSBGEMV
+            from repro.blas.types import BlasDatatype, GemvProblem
+
+            problem = GemvProblem(
+                m=self.nd,
+                n=self.nm,
+                batch=self.n_freq,
+                datatype=BlasDatatype.from_dtype(fhat.dtype),
+                operation=operation,
+            )
+            return RocblasSBGEMV().run(
+                fhat, mhat, problem, device=self.device, phase="sbgemv"
+            )
+        from repro.blas.gemv_kernels import gemv_strided_batched_reference
+
+        return gemv_strided_batched_reference(fhat, mhat, operation)
+
+    # -- the five-phase pipeline -----------------------------------------------
+    def _pipeline(
+        self,
+        v_in: np.ndarray,
+        config: PrecisionConfig,
+        adjoint: bool,
+    ) -> np.ndarray:
+        """Shared forward/adjoint pipeline.
+
+        Forward: v_in is (Nt, Nm); output (Nt, Nd); SBGEMV op = N.
+        Adjoint: v_in is (Nt, Nd); output (Nt, Nm); SBGEMV op = C.
+        """
+        operation = Operation.C if adjoint else Operation.N
+
+        # Phase 1: broadcast (trivial single-device) + zero-pad, in the
+        # phase's precision (cast fused into the pad kernel's writes).
+        with self._phase_ctx("pad"):
+            x = pad_to_soti(v_in, config.pad, device=self.device, phase="pad")
+
+        # Phase 2: batched forward FFT in its precision.  The input cast
+        # (if needed) fuses with the pad's writes in the real code; here
+        # it is a dtype view change before the transform.
+        with self._phase_ctx("fft"):
+            x = cast_to(x, config.fft)
+            plan = self._plan("fwd", config.fft, batch=x.shape[0])
+            xhat = plan.execute(x, phase="fft")
+
+        # Reorder to frequency-outer layout at the lower adjacent
+        # precision, then present to the SBGEMV at its precision.
+        reorder_prec = config.reorder_precision("fft", "sbgemv")
+        with self._phase_ctx("sbgemv"):
+            vhat = soti_to_tosi(
+                xhat, precision=reorder_prec, device=self.device, phase="sbgemv"
+            )
+            vhat = cast_to(vhat, config.sbgemv)
+            if vhat.dtype != complex_dtype(config.sbgemv):
+                raise ReproError("internal: SBGEMV input precision mismatch")
+            yhat = self._run_sbgemv(vhat, operation, config.sbgemv)
+            reorder_prec = config.reorder_precision("sbgemv", "ifft")
+            yhat = tosi_to_soti(
+                yhat, precision=reorder_prec, device=self.device, phase="sbgemv"
+            )
+
+        # Phase 4: batched inverse FFT.
+        with self._phase_ctx("ifft"):
+            yhat = cast_to(yhat, config.ifft)
+            plan = self._plan("inv", config.ifft, batch=yhat.shape[0])
+            y = plan.inverse(yhat, phase="ifft")
+
+        # Phase 5: unpad (+ reduction across the grid in the parallel
+        # engine) in its precision, then return to double.
+        with self._phase_ctx("unpad"):
+            out = unpad_from_soti(
+                y, self.nt, config.unpad, device=self.device, phase="unpad"
+            )
+        return out.astype(np.float64, copy=False)
+
+    # -- public API ----------------------------------------------------------
+    def matvec(
+        self,
+        m: np.ndarray,
+        config: Union[str, PrecisionConfig] = "ddddd",
+    ) -> np.ndarray:
+        """Compute ``d = F m``.
+
+        ``m`` is a double-precision ``(Nt, Nm)`` array (or flat vector);
+        the result is a double-precision ``(Nt, Nd)`` array.
+        """
+        cfg = PrecisionConfig.parse(config)
+        mm = self.matrix.check_input(m).astype(np.float64, copy=False)
+        out = self._timed(lambda: self._pipeline(mm, cfg, adjoint=False), str(cfg))
+        return out
+
+    def rmatvec(
+        self,
+        d: np.ndarray,
+        config: Union[str, PrecisionConfig] = "ddddd",
+    ) -> np.ndarray:
+        """Compute ``m = F* d`` (adjoint/conjugate-transpose matvec)."""
+        cfg = PrecisionConfig.parse(config)
+        dd = self.matrix.check_output(d).astype(np.float64, copy=False)
+        out = self._timed(lambda: self._pipeline(dd, cfg, adjoint=True), str(cfg))
+        return out
+
+    def _timed(self, fn, label: str) -> np.ndarray:
+        if self.device is None:
+            self.matvec_count += 1
+            self.last_timing = None
+            return fn()
+        clock = self.device.clock
+        before = {p: clock.phase_total(p) for p in _PHASES}
+        out = fn()
+        self.last_timing = TimingReport(
+            phases={
+                p: clock.phase_total(p) - before[p]
+                for p in _PHASES
+                if clock.phase_total(p) - before[p] > 0
+            },
+            label=label,
+        )
+        self.matvec_count += 1
+        return out
+
+    # -- convenience -----------------------------------------------------------
+    def relative_error(
+        self,
+        config: Union[str, PrecisionConfig],
+        m: np.ndarray,
+        adjoint: bool = False,
+    ) -> float:
+        """Relative L2 error of a config vs the all-double baseline.
+
+        This mirrors the artifact workflow: mixed-precision outputs are
+        compared against the saved double-precision output.
+        """
+        op = self.rmatvec if adjoint else self.matvec
+        ref = op(m, config="ddddd")
+        val = op(m, config=config)
+        denom = float(np.linalg.norm(ref))
+        if denom == 0.0:
+            return float(np.linalg.norm(val))
+        return float(np.linalg.norm(val - ref)) / denom
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dev = self.device.spec.name if self.device is not None else "no device"
+        return f"FFTMatvec(Nt={self.nt}, Nd={self.nd}, Nm={self.nm}, {dev})"

@@ -1,0 +1,107 @@
+"""Zero-pad and unpad phase kernels (Phases 1 and 5 minus communication).
+
+Phase 1 takes the time-outer input vector, converts it to the
+space-outer (SOTI) layout the batched FFT wants, and appends ``Nt``
+zeros to every time series (the circulant embedding).  Phase 5 drops the
+padding of the inverse transform's output and converts back to
+time-outer layout.  Both are pure memory operations executed in the
+phase's configured precision, with any cast fused into the same kernel
+(the write side simply uses the target dtype).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.bandwidth import stream_efficiency
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.kernel import Dim3, KernelLaunch
+from repro.util.dtypes import Precision, real_dtype
+from repro.util.validation import ReproError
+
+__all__ = ["pad_to_soti", "unpad_from_soti"]
+
+
+def _charge(
+    device: Optional[SimulatedDevice],
+    name: str,
+    bytes_read: float,
+    bytes_written: float,
+    out_elems: int,
+    phase: str,
+) -> None:
+    if device is None:
+        return
+    traffic = bytes_read + bytes_written
+    kernel = KernelLaunch(
+        name=name,
+        grid=Dim3(x=max(1, (out_elems + 255) // 256)),
+        block=Dim3(x=256),
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        efficiency_hint=stream_efficiency(traffic, device.spec) * 0.9,
+    )
+    device.launch(kernel, phase=phase)
+
+
+def pad_to_soti(
+    v: np.ndarray,
+    precision: Precision,
+    device: Optional[SimulatedDevice] = None,
+    phase: str = "pad",
+) -> np.ndarray:
+    """Phase-1 kernel: (Nt, nx) time-outer -> (nx, 2*Nt) padded SOTI.
+
+    The output dtype is the phase's precision — the cast (if any) is
+    fused into the pad kernel's writes.
+    """
+    a = np.asarray(v)
+    if a.ndim != 2:
+        raise ReproError(f"pad expects a 2-D (Nt, nx) block vector, got {a.shape}")
+    if not np.isrealobj(a):
+        raise ReproError("pad operates on real time-domain vectors")
+    nt, nx = a.shape
+    dt = real_dtype(precision)
+    out = np.zeros((nx, 2 * nt), dtype=dt)
+    # Transpose+cast in one logical kernel: each output row is one
+    # spatial point's time series followed by Nt zeros.
+    out[:, :nt] = a.T.astype(dt, copy=False)
+    _charge(
+        device,
+        "pad_zero",
+        bytes_read=float(a.nbytes),
+        bytes_written=float(out.nbytes),
+        out_elems=out.size,
+        phase=phase,
+    )
+    return out
+
+
+def unpad_from_soti(
+    v: np.ndarray,
+    nt: int,
+    precision: Precision,
+    device: Optional[SimulatedDevice] = None,
+    phase: str = "unpad",
+) -> np.ndarray:
+    """Phase-5 kernel: (nx, 2*Nt) padded SOTI -> (Nt, nx) time-outer."""
+    a = np.asarray(v)
+    if a.ndim != 2:
+        raise ReproError(f"unpad expects a 2-D (nx, 2*Nt) vector, got {a.shape}")
+    if a.shape[1] != 2 * nt:
+        raise ReproError(
+            f"unpad expects padded length {2 * nt}, got {a.shape[1]}"
+        )
+    dt = real_dtype(precision)
+    out = np.ascontiguousarray(a[:, :nt].T).astype(dt, copy=False)
+    _charge(
+        device,
+        "unpad",
+        bytes_read=float(a.nbytes) / 2.0,  # only the first half is read
+        bytes_written=float(out.nbytes),
+        out_elems=out.size,
+        phase=phase,
+    )
+    return out

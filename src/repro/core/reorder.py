@@ -1,0 +1,96 @@
+"""SOTI/TOSI vector layout conversions.
+
+FFTMatvec keeps block vectors in two layouts:
+
+* **TOSI** — time-outer, space-inner: shape ``(time_or_freq, space)``;
+  the layout of the user-facing vectors and of the SBGEMV inputs (one
+  contiguous space vector per frequency).
+* **SOTI** — space-outer, time-inner: shape ``(space, time)``; the
+  layout the batched FFT wants (one contiguous time series per spatial
+  point).
+
+The conversions are pure memory operations (transposes).  Per paper
+footnote 8 they execute in the lowest precision of the adjacent compute
+phases and fuse any required cast into the same kernel — the cast is a
+dtype change on the transpose's write side, not an extra pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.bandwidth import stream_efficiency
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.kernel import Dim3, KernelLaunch
+from repro.util.dtypes import Precision, cast_to
+from repro.util.validation import ReproError
+
+__all__ = ["tosi_to_soti", "soti_to_tosi", "reorder_bytes"]
+
+
+def reorder_bytes(arr_shape, in_itemsize: int, out_itemsize: int) -> float:
+    """HBM traffic of a fused reorder+cast: read at in-dtype, write at out."""
+    n = 1
+    for s in arr_shape:
+        n *= int(s)
+    return float(n) * (in_itemsize + out_itemsize)
+
+
+def _charge_reorder(
+    device: Optional[SimulatedDevice],
+    name: str,
+    in_arr: np.ndarray,
+    out_arr: np.ndarray,
+    phase: str,
+) -> None:
+    if device is None:
+        return
+    traffic = float(in_arr.nbytes + out_arr.nbytes)
+    eff = stream_efficiency(traffic, device.spec)
+    # Transposes are less cache-friendly than pure streams; apply the
+    # classic ~0.75 factor of a tiled transpose kernel.
+    kernel = KernelLaunch(
+        name=name,
+        grid=Dim3(x=max(1, (out_arr.size + 255) // 256)),
+        block=Dim3(x=256),
+        bytes_read=float(in_arr.nbytes),
+        bytes_written=float(out_arr.nbytes),
+        efficiency_hint=eff * 0.75,
+    )
+    device.launch(kernel, phase=phase)
+
+
+def tosi_to_soti(
+    v: np.ndarray,
+    precision: Optional[Precision] = None,
+    device: Optional[SimulatedDevice] = None,
+    phase: str = "reorder",
+) -> np.ndarray:
+    """(time, space) -> (space, time), optionally casting (fused)."""
+    a = np.asarray(v)
+    if a.ndim != 2:
+        raise ReproError(f"reorder expects a 2-D block vector, got ndim={a.ndim}")
+    out = np.ascontiguousarray(a.T)
+    if precision is not None:
+        out = cast_to(out, precision)
+    _charge_reorder(device, "reorder_tosi_to_soti", a, out, phase)
+    return out
+
+
+def soti_to_tosi(
+    v: np.ndarray,
+    precision: Optional[Precision] = None,
+    device: Optional[SimulatedDevice] = None,
+    phase: str = "reorder",
+) -> np.ndarray:
+    """(space, time) -> (time, space), optionally casting (fused)."""
+    a = np.asarray(v)
+    if a.ndim != 2:
+        raise ReproError(f"reorder expects a 2-D block vector, got ndim={a.ndim}")
+    out = np.ascontiguousarray(a.T)
+    if precision is not None:
+        out = cast_to(out, precision)
+    _charge_reorder(device, "reorder_soti_to_tosi", a, out, phase)
+    return out

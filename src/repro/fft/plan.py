@@ -1,0 +1,227 @@
+"""Plan-based batched FFT API mirroring cufftPlanMany / hipfftPlanMany.
+
+A plan fixes the transform length, batch count, type (D2Z/Z2D/Z2Z and the
+single-precision variants R2C/C2R/C2C) and precision.  Executing a plan:
+
+* computes the transform with NumPy's pocketfft **at the plan's
+  precision** — complex64 input stays in single precision end to end, so
+  the numerical error of a single-precision FFT phase is measured, not
+  modeled;
+* optionally charges simulated time on an attached
+  :class:`~repro.gpu.device.SimulatedDevice`.  FFT cost model: a radix
+  FFT of length n moves ~``2 * ceil(log2 n) / unroll`` passes over the
+  data; modern GPU FFTs fuse multiple radix stages per pass, so we charge
+  ``passes = max(2, ceil(log2(n) / stages_per_pass))`` sweeps of
+  read+write traffic.
+
+FFTMatvec uses D2Z forward (real input, half-spectrum output) and Z2D
+inverse, exactly like the original code's cuFFT calls.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.bandwidth import stream_efficiency
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.kernel import Dim3, KernelLaunch
+from repro.util.dtypes import Precision, complex_dtype, real_dtype
+from repro.util.validation import ReproError, check_positive_int
+
+__all__ = ["FFTType", "FFTPlan", "plan_many"]
+
+
+class FFTType(enum.Enum):
+    """Transform kinds, named after the cuFFT enums."""
+
+    D2Z = "D2Z"  # double real -> double complex (forward)
+    Z2D = "Z2D"  # double complex -> double real (inverse)
+    Z2Z = "Z2Z"  # double complex <-> double complex
+    R2C = "R2C"  # single real -> single complex (forward)
+    C2R = "C2R"  # single complex -> single real (inverse)
+    C2C = "C2C"  # single complex <-> single complex
+
+    @property
+    def precision(self) -> Precision:
+        return Precision.DOUBLE if self.value in ("D2Z", "Z2D", "Z2Z") else Precision.SINGLE
+
+    @property
+    def is_real_forward(self) -> bool:
+        return self.value in ("D2Z", "R2C")
+
+    @property
+    def is_real_inverse(self) -> bool:
+        return self.value in ("Z2D", "C2R")
+
+    @classmethod
+    def real_forward(cls, prec: Precision) -> "FFTType":
+        return cls.D2Z if Precision.parse(prec) is Precision.DOUBLE else cls.R2C
+
+    @classmethod
+    def real_inverse(cls, prec: Precision) -> "FFTType":
+        return cls.Z2D if Precision.parse(prec) is Precision.DOUBLE else cls.C2R
+
+    @classmethod
+    def complex_complex(cls, prec: Precision) -> "FFTType":
+        return cls.Z2Z if Precision.parse(prec) is Precision.DOUBLE else cls.C2C
+
+
+# GPU FFT kernels fuse ~4 radix stages per global-memory pass.
+_STAGES_PER_PASS = 4
+
+
+class FFTPlan:
+    """A batched 1-D FFT plan.
+
+    Parameters
+    ----------
+    n:
+        Transform length (the padded block length ``2*Nt`` in FFTMatvec).
+    batch:
+        Number of independent transforms.
+    fft_type:
+        One of :class:`FFTType`.
+    device:
+        Optional simulated device to charge execution time on.
+
+    Notes
+    -----
+    Layout is contiguous batched (stride 1, distance n), the layout
+    FFTMatvec uses after its reorder phase; the plan validates input
+    shapes accordingly.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        batch: int,
+        fft_type: FFTType,
+        device: Optional[SimulatedDevice] = None,
+    ) -> None:
+        self.n = check_positive_int(n, "n")
+        self.batch = check_positive_int(batch, "batch")
+        self.fft_type = fft_type
+        self.device = device
+        self.precision = fft_type.precision
+        self._rdt = real_dtype(self.precision)
+        self._cdt = complex_dtype(self.precision)
+        self.executions = 0
+
+    # -- cost model ----------------------------------------------------------
+    @property
+    def half_len(self) -> int:
+        """Half-spectrum length for real transforms (n//2 + 1)."""
+        return self.n // 2 + 1
+
+    def _traffic_bytes(self) -> float:
+        """Read+write HBM traffic of one batched execution."""
+        if self.fft_type.is_real_forward:
+            in_b = self.n * self._rdt.itemsize
+            out_b = self.half_len * self._cdt.itemsize
+        elif self.fft_type.is_real_inverse:
+            in_b = self.half_len * self._cdt.itemsize
+            out_b = self.n * self._rdt.itemsize
+        else:
+            in_b = out_b = self.n * self._cdt.itemsize
+        passes = max(2, math.ceil(math.log2(max(self.n, 2)) / _STAGES_PER_PASS))
+        return float(self.batch) * (in_b + out_b) * passes / 2.0
+
+    def _charge(self, phase: str) -> float:
+        if self.device is None:
+            return 0.0
+        traffic = self._traffic_bytes()
+        eff = stream_efficiency(traffic, self.device.spec)
+        kernel = KernelLaunch(
+            name=f"fft_{self.fft_type.value.lower()}_n{self.n}",
+            grid=Dim3(x=max(1, self.batch)),
+            block=Dim3(x=256),
+            bytes_read=traffic / 2,
+            bytes_written=traffic / 2,
+            flops=5.0 * self.n * math.log2(max(self.n, 2)) * self.batch,
+            efficiency_hint=eff,
+        )
+        return self.device.launch(kernel, phase=phase)
+
+    # -- execution -------------------------------------------------------------
+    def _check_batch_shape(self, a: np.ndarray, length: int, what: str) -> np.ndarray:
+        arr = np.asarray(a)
+        if arr.ndim == 1:
+            if self.batch != 1:
+                raise ReproError(
+                    f"{what}: 1-D input but plan batch={self.batch}"
+                )
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape != (self.batch, length):
+            raise ReproError(
+                f"{what}: expected shape ({self.batch}, {length}), got {arr.shape}"
+            )
+        return arr
+
+    def execute(self, x: np.ndarray, phase: str = "fft") -> np.ndarray:
+        """Forward transform (D2Z/R2C real-to-complex, or Z2Z/C2C forward).
+
+        Real transforms return the half spectrum (``n//2+1`` bins), like
+        cufftExecD2Z.
+        """
+        if self.fft_type.is_real_inverse:
+            raise ReproError(
+                f"plan type {self.fft_type.value} is inverse-only; use inverse()"
+            )
+        if self.fft_type.is_real_forward:
+            arr = self._check_batch_shape(x, self.n, "execute")
+            arr = np.ascontiguousarray(arr, dtype=self._rdt)
+            out = np.fft.rfft(arr, axis=1).astype(self._cdt, copy=False)
+        else:
+            arr = self._check_batch_shape(x, self.n, "execute")
+            arr = np.ascontiguousarray(arr, dtype=self._cdt)
+            out = np.fft.fft(arr, axis=1).astype(self._cdt, copy=False)
+        self.executions += 1
+        self._charge(phase)
+        return out
+
+    def inverse(self, x: np.ndarray, phase: str = "ifft") -> np.ndarray:
+        """Inverse transform.
+
+        Follows the cuFFT convention of **unnormalized** transforms: like
+        cufftExecZ2D, the result is ``n`` times the mathematical inverse,
+        and callers scale by ``1/n`` themselves (FFTMatvec folds the scale
+        into the precomputed ``F_hat``).
+        """
+        if self.fft_type.is_real_forward and self.fft_type in (FFTType.D2Z, FFTType.R2C):
+            raise ReproError(
+                f"plan type {self.fft_type.value} is forward-only; use execute()"
+            )
+        if self.fft_type.is_real_inverse:
+            arr = self._check_batch_shape(x, self.half_len, "inverse")
+            arr = np.ascontiguousarray(arr, dtype=self._cdt)
+            out = np.fft.irfft(arr, n=self.n, axis=1).astype(self._rdt, copy=False)
+            out = out * np.asarray(self.n, dtype=self._rdt)  # unnormalized
+        else:
+            arr = self._check_batch_shape(x, self.n, "inverse")
+            arr = np.ascontiguousarray(arr, dtype=self._cdt)
+            out = np.fft.ifft(arr, axis=1).astype(self._cdt, copy=False)
+            out = out * np.asarray(self.n, dtype=self._rdt)
+        self.executions += 1
+        self._charge(phase)
+        return out
+
+
+def plan_many(
+    n: int,
+    batch: int,
+    *,
+    precision: Precision = Precision.DOUBLE,
+    real: bool = True,
+    forward: bool = True,
+    device: Optional[SimulatedDevice] = None,
+) -> FFTPlan:
+    """Convenience constructor in the style of ``cufftPlanMany``."""
+    if real:
+        t = FFTType.real_forward(precision) if forward else FFTType.real_inverse(precision)
+    else:
+        t = FFTType.complex_complex(precision)
+    return FFTPlan(n=n, batch=batch, fft_type=t, device=device)

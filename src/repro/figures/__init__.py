@@ -1,0 +1,25 @@
+"""Figure-regeneration harnesses.
+
+One module per paper figure; each produces the figure's rows as plain
+text (paper values alongside model/measured values where applicable) and
+returns structured data for benches and tests:
+
+* :mod:`repro.figures.fig1` — SBGEMV bandwidth, rocBLAS vs optimized.
+* :mod:`repro.figures.fig2` — single-GPU matvec runtime breakdowns.
+* :mod:`repro.figures.fig3` — double vs optimal mixed-precision.
+* :mod:`repro.figures.fig4` — multi-GPU scaling speedups + errors.
+"""
+
+from repro.figures.fig1 import figure1, FIG1_SIZES, FIG1_DATATYPES
+from repro.figures.fig2 import figure2
+from repro.figures.fig3 import figure3
+from repro.figures.fig4 import figure4
+
+__all__ = [
+    "figure1",
+    "FIG1_SIZES",
+    "FIG1_DATATYPES",
+    "figure2",
+    "figure3",
+    "figure4",
+]

@@ -1,0 +1,99 @@
+"""Kernel-launch descriptors and geometry validation.
+
+A :class:`KernelLaunch` captures what a CUDA/HIP launch specifies: grid
+and block dimensions plus the traffic the kernel generates.  The device
+validates grid limits — notably the 65535 cap on the y and z dimensions
+that the paper's custom permutation kernel must avoid overflowing
+(Section 3.1: "a modification ... to avoid overflowing the maximum number
+of grid blocks that can be launched in the y and z dimensions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.gpu.specs import GPUSpec
+from repro.util.validation import ReproError
+
+__all__ = ["Dim3", "KernelLaunch", "LaunchConfigError"]
+
+
+class LaunchConfigError(ReproError):
+    """Invalid grid/block geometry for the target device."""
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA-style 3-component dimension."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in ("x", "y", "z"):
+            v = getattr(self, axis)
+            if not isinstance(v, int) or v < 1:
+                raise LaunchConfigError(f"Dim3.{axis} must be a positive int, got {v!r}")
+
+    @property
+    def total(self) -> int:
+        return self.x * self.y * self.z
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """(x, y, z) as a plain tuple."""
+        return (self.x, self.y, self.z)
+
+
+_MAX_THREADS_PER_BLOCK = 1024
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel launch: name, geometry, and memory traffic.
+
+    ``bytes_read``/``bytes_written`` describe the HBM traffic the kernel
+    generates; the device turns them into simulated time via the bandwidth
+    model.  ``efficiency_hint`` (optional, 0..1) lets a kernel override the
+    default streaming-efficiency estimate — the SBGEMV kernels compute
+    their own geometry-aware efficiency.
+    """
+
+    name: str
+    grid: Dim3
+    block: Dim3
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    flops: float = 0.0
+    efficiency_hint: float = -1.0
+
+    @property
+    def bytes_moved(self) -> float:
+        return float(self.bytes_read) + float(self.bytes_written)
+
+    @property
+    def blocks(self) -> int:
+        return self.grid.total
+
+    def validate(self, spec: GPUSpec) -> None:
+        """Check geometry against the device's limits."""
+        gx, gy, gz = self.grid.as_tuple()
+        mx, my, mz = spec.max_grid
+        if gx > mx or gy > my or gz > mz:
+            raise LaunchConfigError(
+                f"kernel {self.name!r}: grid {self.grid.as_tuple()} exceeds "
+                f"device max {spec.max_grid}"
+            )
+        if self.block.total > _MAX_THREADS_PER_BLOCK:
+            raise LaunchConfigError(
+                f"kernel {self.name!r}: block {self.block.as_tuple()} has "
+                f"{self.block.total} threads > {_MAX_THREADS_PER_BLOCK}"
+            )
+        if self.block.total % spec.wavefront != 0 and self.block.total >= spec.wavefront:
+            # Not an error on real hardware, but always a performance bug in
+            # this codebase's kernels; fail fast in simulation.
+            raise LaunchConfigError(
+                f"kernel {self.name!r}: block size {self.block.total} is not a "
+                f"multiple of the wavefront ({spec.wavefront})"
+            )

@@ -1,0 +1,54 @@
+"""Bayesian inverse-problem substrate (the paper's application context).
+
+The block-triangular Toeplitz structure arises as the discrete
+parameter-to-observable (p2o) map of a linear time-invariant dynamical
+system (paper Section 2).  This package builds that context end-to-end
+at laptop scale:
+
+* :mod:`repro.inverse.mesh` — 1-D/2-D structured grids.
+* :mod:`repro.inverse.lti` — LTI PDE solvers (heat / advection-
+  diffusion) with implicit time stepping (scipy sparse).
+* :mod:`repro.inverse.observation` — sensor observation operators B.
+* :mod:`repro.inverse.p2o` — builds the p2o map's first block column
+  from impulse responses and hands it to FFTMatvec; verifies the
+  time-invariance ⇒ block-Toeplitz property.
+* :mod:`repro.inverse.prior` — Gaussian (Laplacian-smoothness) priors.
+* :mod:`repro.inverse.cg` — matrix-free conjugate gradient.
+* :mod:`repro.inverse.bayes` — the linear Bayesian inverse problem:
+  MAP point via CG on the Hessian (F* Γn⁻¹ F + Γpr⁻¹), using FFTMatvec
+  actions in a configurable precision.
+* :mod:`repro.inverse.oed` — the "outer-loop" problem of Remark 1:
+  greedy optimal sensor placement maximizing expected information gain
+  (KL divergence), which re-assembles the data-space Hessian and is
+  where mixed-precision matvec speedups multiply.
+"""
+
+from repro.inverse.mesh import Grid1D, Grid2D
+from repro.inverse.lti import HeatEquation1D, AdvectionDiffusion1D, LTISystem
+from repro.inverse.observation import ObservationOperator
+from repro.inverse.p2o import P2OMap, build_p2o_blocks
+from repro.inverse.prior import GaussianPrior
+from repro.inverse.cg import conjugate_gradient, CGResult
+from repro.inverse.bayes import LinearBayesianProblem, MAPResult
+from repro.inverse.oed import greedy_sensor_placement, expected_information_gain
+from repro.inverse.posterior import LowRankPosterior, randomized_eig
+
+__all__ = [
+    "Grid1D",
+    "Grid2D",
+    "HeatEquation1D",
+    "AdvectionDiffusion1D",
+    "LTISystem",
+    "ObservationOperator",
+    "P2OMap",
+    "build_p2o_blocks",
+    "GaussianPrior",
+    "conjugate_gradient",
+    "CGResult",
+    "LinearBayesianProblem",
+    "MAPResult",
+    "greedy_sensor_placement",
+    "expected_information_gain",
+    "LowRankPosterior",
+    "randomized_eig",
+]

@@ -1,0 +1,89 @@
+"""Matrix-free conjugate gradient.
+
+Used to solve the MAP system ``H m = rhs`` with Hessian actions composed
+of FFTMatvec F/F* applications — the "traditional" solution strategy the
+paper references ([14]).  Operands are (nt, n) block vectors; the solver
+only needs an inner product and an operator callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.util.validation import ReproError
+
+__all__ = ["CGResult", "conjugate_gradient"]
+
+
+@dataclass
+class CGResult:
+    """Outcome of a CG solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norms: List[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+def _dot(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.vdot(a, b).real)
+
+
+def conjugate_gradient(
+    operator: Callable[[np.ndarray], np.ndarray],
+    rhs: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    maxiter: int = 500,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> CGResult:
+    """Solve ``operator(x) = rhs`` for an SPD operator.
+
+    Converges when ``||r|| <= tol * ||rhs||``.  Raises if the operator
+    produces a direction of non-positive curvature (not SPD) — with the
+    regularized Hessian that indicates a bug, not a property.
+    """
+    b = np.asarray(rhs, dtype=np.float64)
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if x.shape != b.shape:
+        raise ReproError(f"x0 shape {x.shape} != rhs shape {b.shape}")
+
+    r = b - operator(x)
+    p = r.copy()
+    rs = _dot(r, r)
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return CGResult(x=np.zeros_like(b), converged=True, iterations=0, residual_norms=[0.0])
+
+    norms = [float(np.sqrt(rs))]
+    if norms[0] <= tol * bnorm:
+        return CGResult(x=x, converged=True, iterations=0, residual_norms=norms)
+
+    for it in range(1, maxiter + 1):
+        Ap = operator(p)
+        curvature = _dot(p, Ap)
+        if curvature <= 0.0:
+            raise ReproError(
+                f"CG detected non-positive curvature {curvature:g} at iter {it}; "
+                "the operator is not SPD"
+            )
+        alpha = rs / curvature
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rs_new = _dot(r, r)
+        norms.append(float(np.sqrt(rs_new)))
+        if callback is not None:
+            callback(it, norms[-1])
+        if norms[-1] <= tol * bnorm:
+            return CGResult(x=x, converged=True, iterations=it, residual_norms=norms)
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+
+    return CGResult(x=x, converged=False, iterations=maxiter, residual_norms=norms)

@@ -1,0 +1,113 @@
+"""Optimal experimental design: greedy sensor placement (paper Remark 1).
+
+The expected information gain (EIG) of a linear-Gaussian inverse problem
+is the KL divergence from prior to posterior, which has the closed form::
+
+    EIG = 1/2 * log det (I + H_d)
+
+with ``H_d`` the prior-preconditioned data-space Hessian of the
+candidate sensor set.  The greedy algorithm adds, one at a time, the
+candidate sensor that maximizes the EIG — re-assembling ``H_d`` at every
+evaluation, i.e. O(Nd * Nt) F/F* matvecs per candidate.  This is the
+"outer-loop" workload where the mixed-precision matvec speedup
+compounds by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.precision import PrecisionConfig
+from repro.gpu.device import SimulatedDevice
+from repro.inverse.bayes import LinearBayesianProblem
+from repro.inverse.lti import LTISystem
+from repro.inverse.observation import ObservationOperator
+from repro.inverse.p2o import P2OMap
+from repro.inverse.prior import GaussianPrior
+from repro.util.validation import ReproError, check_positive_int
+
+__all__ = ["expected_information_gain", "greedy_sensor_placement", "OEDResult"]
+
+
+def expected_information_gain(hd: np.ndarray) -> float:
+    """EIG = 0.5 * log det (I + H_d) for an SPD data-space Hessian."""
+    H = np.asarray(hd, dtype=np.float64)
+    if H.ndim != 2 or H.shape[0] != H.shape[1]:
+        raise ReproError(f"H_d must be square, got {H.shape}")
+    sign, logdet = np.linalg.slogdet(np.eye(H.shape[0]) + 0.5 * (H + H.T))
+    if sign <= 0:
+        raise ReproError("I + H_d is not positive definite")
+    return 0.5 * float(logdet)
+
+
+@dataclass
+class OEDResult:
+    """Greedy sensor-placement outcome."""
+
+    selected: List[int]
+    gains: List[float] = field(default_factory=list)  # EIG after each pick
+    evaluations: int = 0  # number of candidate EIG evaluations
+    matvec_count: int = 0  # FFT matvecs spent (the Remark-1 cost)
+
+
+def greedy_sensor_placement(
+    system: LTISystem,
+    candidates: Sequence[int],
+    n_select: int,
+    nt: int,
+    prior: GaussianPrior,
+    noise_std: float,
+    config: Union[str, PrecisionConfig] = "ddddd",
+    device: Optional[SimulatedDevice] = None,
+) -> OEDResult:
+    """Greedily pick ``n_select`` sensors from ``candidates`` by EIG.
+
+    Every candidate evaluation builds the p2o map for the tentative
+    sensor set and assembles its data-space Hessian with FFT matvecs in
+    the given precision configuration, exactly the workflow Remark 1
+    describes.  Sizes must be laptop-scale (the Hessian is dense
+    ``(nt*Nd)^2``).
+    """
+    check_positive_int(n_select, "n_select")
+    cands = [int(c) for c in candidates]
+    if len(set(cands)) != len(cands):
+        raise ReproError("candidate sensor indices must be unique")
+    if n_select > len(cands):
+        raise ReproError(
+            f"cannot select {n_select} sensors from {len(cands)} candidates"
+        )
+    cfg = PrecisionConfig.parse(config)
+
+    selected: List[int] = []
+    gains: List[float] = []
+    evaluations = 0
+    matvecs = 0
+    remaining = list(cands)
+
+    for _ in range(n_select):
+        best_gain, best_idx = -np.inf, None
+        for cand in remaining:
+            trial = selected + [cand]
+            obs = ObservationOperator(system.n, trial)
+            p2o = P2OMap(system, obs, nt, device=device)
+            problem = LinearBayesianProblem(p2o, prior, noise_std)
+            hd = problem.data_space_hessian(config=cfg)
+            evaluations += 1
+            matvecs += 2 * nt * len(trial)  # one F + one F* per column
+            gain = expected_information_gain(hd)
+            if gain > best_gain:
+                best_gain, best_idx = gain, cand
+        assert best_idx is not None
+        selected.append(best_idx)
+        remaining.remove(best_idx)
+        gains.append(best_gain)
+
+    return OEDResult(
+        selected=selected,
+        gains=gains,
+        evaluations=evaluations,
+        matvec_count=matvecs,
+    )

@@ -1,0 +1,176 @@
+"""Posterior uncertainty quantification via low-rank Hessian methods.
+
+For the linear-Gaussian problem the posterior covariance is::
+
+    Gamma_post = Gp^{1/2} (I + Ht)^{-1} Gp^{T/2},
+    Ht = Gp^{T/2} F* Gn^{-1} F Gp^{1/2}   (prior-preconditioned Hessian)
+
+``Ht`` typically has rapidly decaying spectrum (the data inform only a
+few directions), so a rank-r randomized eigendecomposition
+``Ht ~= V diag(lam) V^T`` gives, by Sherman-Morrison-Woodbury::
+
+    Gamma_post = Gp - Gp^{1/2} V diag(lam/(1+lam)) V^T Gp^{T/2}
+
+Each ``Ht`` action costs one F and one F* FFTMatvec — the operation the
+paper accelerates — so the precision configuration threads through.
+This reproduces the UQ workflow of the paper's references [21, 22]
+(posterior variance and expected information gain from the same
+eigenvalues used by the OED loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.precision import PrecisionConfig
+from repro.inverse.bayes import LinearBayesianProblem
+from repro.util.validation import ReproError, check_positive_int
+
+__all__ = ["LowRankPosterior", "randomized_eig"]
+
+
+def randomized_eig(
+    operator,
+    n: int,
+    rank: int,
+    oversample: int = 10,
+    power_iters: int = 1,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Randomized symmetric eigendecomposition of a PSD operator.
+
+    ``operator`` maps (n,) -> (n,); returns (eigenvalues desc, vectors)
+    of the best rank-``rank`` approximation (Halko-Martinsson-Tropp with
+    optional power iterations for sharper decay separation).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(rank, "rank")
+    if rank > n:
+        raise ReproError(f"rank {rank} exceeds dimension {n}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    k = min(n, rank + max(oversample, 0))
+
+    omega = rng.standard_normal((n, k))
+    Y = np.column_stack([operator(omega[:, j]) for j in range(k)])
+    for _ in range(max(power_iters, 0)):
+        Q, _ = np.linalg.qr(Y)
+        Y = np.column_stack([operator(Q[:, j]) for j in range(k)])
+    Q, _ = np.linalg.qr(Y)
+    T = Q.T @ np.column_stack([operator(Q[:, j]) for j in range(k)])
+    T = 0.5 * (T + T.T)
+    lam, S = np.linalg.eigh(T)
+    order = np.argsort(lam)[::-1][:rank]
+    return np.maximum(lam[order], 0.0), Q @ S[:, order]
+
+
+@dataclass
+class LowRankPosterior:
+    """Rank-r posterior representation built from FFTMatvec actions.
+
+    Attributes
+    ----------
+    eigenvalues:
+        Eigenvalues of the prior-preconditioned data-misfit Hessian,
+        descending, length r.
+    eigenvectors:
+        Corresponding orthonormal vectors, shape (nt*nm, r), in the
+        prior-preconditioned coordinates.
+    """
+
+    problem: LinearBayesianProblem
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    config: str
+    hessian_actions: int
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def compute(
+        cls,
+        problem: LinearBayesianProblem,
+        rank: int,
+        config: Union[str, PrecisionConfig] = "ddddd",
+        oversample: int = 10,
+        power_iters: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "LowRankPosterior":
+        """Randomized eigendecomposition of Ht with FFT matvec actions."""
+        cfg = PrecisionConfig.parse(config)
+        nt, nm = problem.p2o.nt, problem.p2o.nm
+        n = nt * nm
+        counter = {"n": 0}
+
+        def ht_action(v: np.ndarray) -> np.ndarray:
+            counter["n"] += 1
+            z = v.reshape(nt, nm)
+            w = problem.prior.apply_sqrt(z)
+            fw = problem.p2o.apply(w, config=cfg) / problem.noise_std**2
+            hw = problem.p2o.applyT(fw, config=cfg)
+            return problem.prior.apply_sqrt_t(hw).ravel()
+
+        lam, V = randomized_eig(
+            ht_action, n, rank, oversample=oversample,
+            power_iters=power_iters, rng=rng,
+        )
+        return cls(
+            problem=problem,
+            eigenvalues=lam,
+            eigenvectors=V,
+            config=str(cfg),
+            hessian_actions=counter["n"],
+        )
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.eigenvalues)
+
+    def information_gain(self) -> float:
+        """Expected information gain 0.5 * sum log(1 + lam_i) — the same
+        quantity the OED loop maximizes."""
+        return 0.5 * float(np.sum(np.log1p(self.eigenvalues)))
+
+    def pointwise_variance(self) -> np.ndarray:
+        """Posterior variance field, shape (nt, nm).
+
+        prior variance minus the low-rank correction's diagonal.
+        """
+        nt, nm = self.problem.p2o.nt, self.problem.p2o.nm
+        prior_var = self.problem.prior.variance_diag()
+        weights = self.eigenvalues / (1.0 + self.eigenvalues)
+        # rows of Gp^{1/2} V: apply the sqrt factor to each eigenvector
+        corr = np.zeros(nt * nm)
+        for j in range(self.rank):
+            col = self.problem.prior.apply_sqrt(
+                self.eigenvectors[:, j].reshape(nt, nm)
+            ).ravel()
+            corr += weights[j] * col**2
+        return prior_var - corr.reshape(nt, nm)
+
+    def sample(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw a zero-mean posterior sample (add the MAP point for the
+        full posterior draw).
+
+        Uses the exact low-rank square root:
+        Gp^{1/2} (I + V diag(1/sqrt(1+lam) - 1) V^T) z  with z ~ N(0, I).
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        nt, nm = self.problem.p2o.nt, self.problem.p2o.nm
+        z = rng.standard_normal(nt * nm)
+        scale = 1.0 / np.sqrt(1.0 + self.eigenvalues) - 1.0
+        z = z + self.eigenvectors @ (scale * (self.eigenvectors.T @ z))
+        return self.problem.prior.apply_sqrt(z.reshape(nt, nm))
+
+    def posterior_covariance_action(self, m: np.ndarray) -> np.ndarray:
+        """Gamma_post applied to a (nt, nm) field via the low-rank formula."""
+        nt, nm = self.problem.p2o.nt, self.problem.p2o.nm
+        a = np.asarray(m, dtype=np.float64)
+        if a.shape != (nt, nm):
+            raise ReproError(f"field must be ({nt},{nm}), got {a.shape}")
+        w = self.problem.prior.apply_sqrt_t(a).ravel()
+        weights = self.eigenvalues / (1.0 + self.eigenvalues)
+        w = w - self.eigenvectors @ (weights * (self.eigenvectors.T @ w))
+        return self.problem.prior.apply_sqrt(w.reshape(nt, nm))

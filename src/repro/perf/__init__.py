@@ -1,0 +1,31 @@
+"""Performance models at paper scale.
+
+The paper's benchmark sizes (Nm=5000, Nd=100, Nt=1000 → an 8 GB
+``F_hat``) are too large to execute numerically here, so the figure
+benches evaluate the *same cost formulas the engine charges* at full
+scale without allocating the arrays:
+
+* :mod:`repro.perf.phase_model` — per-phase modeled times of one F/F*
+  matvec for any (Nm, Nd, Nt, precision config, GPU); mirrors the
+  engine's kernel charges one-for-one (a test pins them together).
+* :mod:`repro.perf.scaling` — the multi-GPU model behind Figure 4:
+  compute + broadcast + reduce per GPU count and grid shape, speedups of
+  mixed configurations, and the Eq. (6) error trend.
+* :mod:`repro.perf.roofline` — arithmetic-intensity sanity checks
+  showing every phase is memory-bound (why bandwidth is the metric).
+"""
+
+from repro.perf.phase_model import modeled_timing, phase_times
+from repro.perf.scaling import ScalingPoint, scaling_sweep, matvec_time_at_scale
+from repro.perf.roofline import arithmetic_intensity, is_memory_bound, roofline_time
+
+__all__ = [
+    "modeled_timing",
+    "phase_times",
+    "ScalingPoint",
+    "scaling_sweep",
+    "matvec_time_at_scale",
+    "arithmetic_intensity",
+    "is_memory_bound",
+    "roofline_time",
+]

@@ -1,0 +1,152 @@
+"""Per-phase matvec cost model at arbitrary problem sizes.
+
+Replicates, kernel for kernel, the time the engine charges when it runs
+numerically: one pad kernel, one batched FFT, (reorder + SBGEMV +
+reorder), one batched IFFT, one unpad kernel.  A consistency test
+(``tests/perf/test_phase_model.py``) runs the real engine on a simulated
+device and asserts this model reproduces the charged phase times,
+so figure benches can trust it at paper scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Union
+
+from repro.blas.dispatch import SBGEMVDispatcher
+from repro.blas.gemv_kernels import RocblasSBGEMV
+from repro.blas.types import BlasDatatype, GemvProblem, Operation
+from repro.core.precision import PrecisionConfig
+from repro.fft.plan import _STAGES_PER_PASS
+from repro.gpu.bandwidth import kernel_time, stream_efficiency
+from repro.gpu.specs import GPUSpec
+from repro.util.dtypes import Precision, complex_dtype, real_dtype
+from repro.util.timing import TimingReport
+from repro.util.validation import check_positive_int
+
+__all__ = ["phase_times", "modeled_timing", "fft_traffic_bytes"]
+
+
+def fft_traffic_bytes(n: int, batch: int, precision: Precision, forward: bool) -> float:
+    """HBM traffic of one batched real FFT execution (mirrors FFTPlan)."""
+    r = real_dtype(precision).itemsize
+    c = complex_dtype(precision).itemsize
+    half = n // 2 + 1
+    if forward:
+        in_b, out_b = n * r, half * c
+    else:
+        in_b, out_b = half * c, n * r
+    passes = max(2, math.ceil(math.log2(max(n, 2)) / _STAGES_PER_PASS))
+    return float(batch) * (in_b + out_b) * passes / 2.0
+
+
+def _reorder_time(
+    elems: int, in_itemsize: int, out_itemsize: int, spec: GPUSpec
+) -> float:
+    traffic = float(elems) * (in_itemsize + out_itemsize)
+    eff = stream_efficiency(traffic, spec) * 0.75
+    return kernel_time(traffic, spec, eff)
+
+
+def phase_times(
+    nm: int,
+    nd: int,
+    nt: int,
+    config: Union[str, PrecisionConfig],
+    spec: GPUSpec,
+    adjoint: bool = False,
+    use_optimized_sbgemv: bool = True,
+) -> Dict[str, float]:
+    """Modeled seconds per phase of one local matvec (no communication).
+
+    For the F matvec the FFT batch is ``nm`` (parameter side) and the
+    IFFT batch is ``nd``; the adjoint swaps them.  The SBGEMV phase
+    includes the two layout reorders, matching both the engine and the
+    artifact note that "the SBGEMV time includes the SOTI-to-TOSI and
+    TOSI-to-SOTI times".
+    """
+    check_positive_int(nm, "nm")
+    check_positive_int(nd, "nd")
+    check_positive_int(nt, "nt")
+    cfg = PrecisionConfig.parse(config)
+    n_pad = 2 * nt
+    n_freq = nt + 1
+    nx_in = nd if adjoint else nm  # batch of the forward FFT
+    nx_out = nm if adjoint else nd  # batch of the inverse FFT
+
+    times: Dict[str, float] = {}
+
+    # Phase 1: pad kernel reads the double input, writes padded at the
+    # phase's precision (cast fused), efficiency = stream * 0.9.
+    read_b = float(nt * nx_in * 8)
+    write_b = float(nx_in * n_pad * real_dtype(cfg.pad).itemsize)
+    eff = stream_efficiency(read_b + write_b, spec) * 0.9
+    times["pad"] = kernel_time(read_b + write_b, spec, eff)
+
+    # Phase 2: batched forward FFT.
+    traffic = fft_traffic_bytes(n_pad, nx_in, cfg.fft, forward=True)
+    times["fft"] = kernel_time(traffic, spec, stream_efficiency(traffic, spec))
+
+    # Phase 3: reorder in, SBGEMV, reorder out.
+    lo_in = cfg.reorder_precision("fft", "sbgemv")
+    lo_out = cfg.reorder_precision("sbgemv", "ifft")
+    c_fft = complex_dtype(cfg.fft).itemsize
+    c_lo_in = complex_dtype(lo_in).itemsize
+    c_sb = complex_dtype(cfg.sbgemv).itemsize
+    c_lo_out = complex_dtype(lo_out).itemsize
+    t3 = _reorder_time(n_freq * nx_in, c_fft, c_lo_in, spec)
+
+    datatype = (
+        BlasDatatype.Z if cfg.sbgemv is Precision.DOUBLE else BlasDatatype.C
+    )
+    operation = Operation.C if adjoint else Operation.N
+    problem = GemvProblem(
+        m=nd, n=nm, batch=n_freq, datatype=datatype, operation=operation
+    )
+    if use_optimized_sbgemv:
+        kernel = SBGEMVDispatcher(spec).select(problem)
+    else:
+        kernel = RocblasSBGEMV()
+    # The engine launches the GEMV through the device (which adds the
+    # per-launch overhead on top of the end-to-end calibrated time).
+    t3 += kernel.modeled_time(problem, spec) + spec.launch_overhead
+    t3 += _reorder_time(n_freq * nx_out, c_sb, c_lo_out, spec)
+    times["sbgemv"] = t3
+
+    # Phase 4: batched inverse FFT.
+    traffic = fft_traffic_bytes(n_pad, nx_out, cfg.ifft, forward=False)
+    times["ifft"] = kernel_time(traffic, spec, stream_efficiency(traffic, spec))
+
+    # Phase 5: unpad reads half the padded vector, writes at its precision.
+    read_b = float(nx_out * n_pad * real_dtype(cfg.ifft).itemsize) / 2.0
+    write_b = float(nt * nx_out * real_dtype(cfg.unpad).itemsize)
+    eff = stream_efficiency(read_b + write_b, spec) * 0.9
+    times["unpad"] = kernel_time(read_b + write_b, spec, eff)
+
+    return times
+
+
+def modeled_timing(
+    nm: int,
+    nd: int,
+    nt: int,
+    config: Union[str, PrecisionConfig],
+    spec: GPUSpec,
+    adjoint: bool = False,
+    use_optimized_sbgemv: bool = True,
+) -> TimingReport:
+    """Phase times wrapped in a :class:`TimingReport`."""
+    cfg = PrecisionConfig.parse(config)
+    direction = "F*" if adjoint else "F"
+    return TimingReport(
+        phases=phase_times(
+            nm,
+            nd,
+            nt,
+            cfg,
+            spec,
+            adjoint=adjoint,
+            use_optimized_sbgemv=use_optimized_sbgemv,
+        ),
+        label=f"{cfg} {direction} {spec.name}",
+    )

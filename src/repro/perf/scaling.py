@@ -1,0 +1,142 @@
+"""Multi-GPU scaling model (Figure 4).
+
+Weak scaling at the paper's sizes: ``Nm = 5000 * p``, ``Nd = 100``,
+``Nt = 1000`` on MI250X GCDs with the Frontier network model.  Per grid
+shape ``(pr, pc)``:
+
+* local compute = :func:`repro.perf.phase_model.phase_times` at the
+  local block size ``(Nd/pr) x (Nm/pc)`` (invariant total bytes — each
+  rank owns ``Nd*Nm/p`` of every Toeplitz block);
+* Phase-1 broadcast of the column parameter block (``Nm/pc * Nt`` words
+  at Phase 1's precision) over ``pr`` machine-spanning ranks;
+* Phase-5 reduction of the row data block (``Nd/pr * Nt`` words at
+  Phase 5's precision) over ``pc`` contiguous ranks.
+
+Relative errors at scale are *measured*, not modeled: the Figure-4 bench
+runs the real SPMD engine with a proportionally reduced local problem
+(4096 actual ranks in-process) and reports the measured error trend; the
+Eq. (6) bound is printed alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.comm.collectives import tree_collective_time
+from repro.comm.netmodel import FRONTIER_NETWORK, NetworkModel
+from repro.comm.partition import published_frontier_rows
+from repro.core.precision import PrecisionConfig
+from repro.gpu.specs import GPUSpec, MI250X_GCD
+from repro.perf.phase_model import phase_times
+from repro.util.dtypes import real_dtype
+from repro.util.validation import check_positive_int
+
+__all__ = ["ScalingPoint", "matvec_time_at_scale", "scaling_sweep", "paper_config_for"]
+
+
+def paper_config_for(p: int) -> str:
+    """The paper's optimal mixed config per GPU count (artifact appendix):
+    ``dssdd`` below 512 GPUs, ``dssds`` at 512 and above."""
+    return "dssdd" if p < 512 else "dssds"
+
+
+def matvec_time_at_scale(
+    p: int,
+    pr: int,
+    config: Union[str, PrecisionConfig],
+    nm_per_gpu: int = 5000,
+    nd: int = 100,
+    nt: int = 1000,
+    spec: GPUSpec = MI250X_GCD,
+    net: NetworkModel = FRONTIER_NETWORK,
+    adjoint: bool = False,
+) -> dict:
+    """Modeled seconds of one distributed matvec; returns a breakdown.
+
+    Keys: ``compute``, ``bcast``, ``reduce``, ``total``.
+    """
+    check_positive_int(p, "p")
+    check_positive_int(pr, "pr")
+    if p % pr != 0:
+        raise ValueError(f"pr={pr} must divide p={p}")
+    cfg = PrecisionConfig.parse(config)
+    pc = p // pr
+    nm_global = nm_per_gpu * p
+    nm_local = -(-nm_global // pc)
+    nd_local = max(1, -(-nd // pr))
+
+    compute = sum(
+        phase_times(nm_local, nd_local, nt, cfg, spec, adjoint=adjoint).values()
+    )
+
+    # Communication volumes follow the phase precisions (Phase 1 in
+    # single halves the broadcast; Phase 5 in single halves the reduce).
+    bcast_bytes = nm_local * nt * real_dtype(cfg.pad).itemsize
+    reduce_bytes = nd_local * nt * real_dtype(cfg.unpad).itemsize
+    if adjoint:
+        # F*: broadcast data over rows (pc contiguous), reduce parameters
+        # over columns (pr machine-spanning).
+        bcast_bytes, reduce_bytes = reduce_bytes, bcast_bytes
+        t_bcast = tree_collective_time(pc, bcast_bytes, net, span=pc)
+        col_span = (pr - 1) * pc + 1
+        t_reduce = tree_collective_time(pr, reduce_bytes, net, span=col_span)
+    else:
+        col_span = (pr - 1) * pc + 1
+        t_bcast = tree_collective_time(pr, bcast_bytes, net, span=col_span)
+        t_reduce = tree_collective_time(pc, reduce_bytes, net, span=pc)
+
+    return {
+        "compute": compute,
+        "bcast": t_bcast,
+        "reduce": t_reduce,
+        "total": compute + t_bcast + t_reduce,
+    }
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One GPU count of the Figure-4 sweep."""
+
+    p: int
+    pr: int
+    pc: int
+    config: str
+    time_double: float
+    time_mixed: float
+
+    @property
+    def speedup(self) -> float:
+        return self.time_double / self.time_mixed
+
+
+def scaling_sweep(
+    gpu_counts: Sequence[int] = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
+    nm_per_gpu: int = 5000,
+    nd: int = 100,
+    nt: int = 1000,
+    spec: GPUSpec = MI250X_GCD,
+    net: NetworkModel = FRONTIER_NETWORK,
+    rows: Optional[Sequence[int]] = None,
+) -> list:
+    """The Figure-4 time/speedup series over GPU counts.
+
+    ``rows`` overrides the per-count grid-row schedule (defaults to the
+    paper's published schedule).
+    """
+    points = []
+    for i, p in enumerate(gpu_counts):
+        pr = rows[i] if rows is not None else published_frontier_rows(p)
+        cfg = paper_config_for(p)
+        t_d = matvec_time_at_scale(
+            p, pr, "ddddd", nm_per_gpu, nd, nt, spec=spec, net=net
+        )["total"]
+        t_m = matvec_time_at_scale(
+            p, pr, cfg, nm_per_gpu, nd, nt, spec=spec, net=net
+        )["total"]
+        points.append(
+            ScalingPoint(
+                p=p, pr=pr, pc=p // pr, config=cfg, time_double=t_d, time_mixed=t_m
+            )
+        )
+    return points

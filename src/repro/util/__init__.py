@@ -1,0 +1,50 @@
+"""Shared utilities: precision/dtype handling, timing, validation, tables.
+
+These utilities are deliberately free of any dependency on the simulated
+GPU or communication substrates so that every other subpackage can import
+them without cycles.
+"""
+
+from repro.util.dtypes import (
+    Precision,
+    complex_dtype,
+    real_dtype,
+    machine_eps,
+    lowest,
+    highest,
+    cast_to,
+    fill_low_mantissa,
+    dtype_itemsize,
+    precision_of,
+)
+from repro.util.timing import SimClock, TimingReport, PhaseTimer
+from repro.util.validation import (
+    check_positive_int,
+    check_in,
+    check_array,
+    ReproError,
+)
+from repro.util.tables import render_table, format_si, format_seconds
+
+__all__ = [
+    "Precision",
+    "complex_dtype",
+    "real_dtype",
+    "machine_eps",
+    "lowest",
+    "highest",
+    "cast_to",
+    "fill_low_mantissa",
+    "dtype_itemsize",
+    "precision_of",
+    "SimClock",
+    "TimingReport",
+    "PhaseTimer",
+    "check_positive_int",
+    "check_in",
+    "check_array",
+    "ReproError",
+    "render_table",
+    "format_si",
+    "format_seconds",
+]

@@ -1,0 +1,93 @@
+"""Plain-text table rendering for benchmark/figure output.
+
+The benchmark harnesses regenerate each paper table/figure as text rows;
+this module provides the shared renderer so every figure prints in a
+consistent, diffable format.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "format_si", "format_seconds", "format_bandwidth"]
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format with SI prefixes: ``format_si(5.3e12, 'B/s') -> '5.30 TB/s'``."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    av = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if av >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+    return f"{value:.{digits}g} {unit}".strip()
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale time: ns/us/ms/s."""
+    av = abs(seconds)
+    if av >= 1.0:
+        return f"{seconds:.3f} s"
+    if av >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if av >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_bandwidth(bytes_per_s: float) -> str:
+    """Bandwidth in GB/s (the unit rocblas-bench reports)."""
+    return f"{bytes_per_s / 1e9:.1f} GB/s"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: Optional[str] = None,
+    aligns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render an ASCII table.
+
+    ``aligns`` is a sequence of ``'l'``/``'r'`` per column (default: left
+    for the first column, right for the rest, which suits name-then-numbers
+    benchmark rows).
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        cells.append([str(c) for c in row])
+
+    ncol = len(headers)
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (ncol - 1)
+    widths = [max(len(r[i]) for r in cells) for i in range(ncol)]
+
+    def fmt_row(row: List[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if aligns[i] == "r":
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(cells[0]))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Simulated clock and timing reports.
+
+All FFTMatvec "runtimes" in this reproduction come from a simulated device
+clock: kernels and collectives *advance* the clock by their modeled cost
+(bytes moved / achieved bandwidth + launch overhead), exactly as described
+in DESIGN.md.  The clock deliberately has no relation to Python wall time.
+
+:class:`TimingReport` mirrors the output of the original ``fft_matvec``
+executable, which prints per-phase timings (pad, FFT, SBGEMV, IFFT, unpad)
+plus setup/total/cleanup lines, averaged over repetitions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["SimClock", "PhaseTimer", "TimingReport"]
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds).
+
+    The clock supports named *phase accounting*: while a phase is active,
+    all advances are attributed to it.  Nested phases attribute time to the
+    innermost phase only, matching how a profiler attributes GPU kernel
+    time to the enclosing region.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._phase_stack: List[str] = []
+        self._phase_totals: Dict[str, float] = {}
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock; attributes time to the innermost open phase."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self._now += seconds
+        if self._phase_stack:
+            name = self._phase_stack[-1]
+            self._phase_totals[name] = self._phase_totals.get(name, 0.0) + seconds
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all clock advances inside the block to ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def phase_total(self, name: str) -> float:
+        """Accumulated seconds attributed to a phase (0.0 if never seen)."""
+        return self._phase_totals.get(name, 0.0)
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Copy of all per-phase accumulated times."""
+        return dict(self._phase_totals)
+
+    def reset_phases(self) -> None:
+        """Clear phase accounting without resetting absolute time."""
+        self._phase_totals.clear()
+
+    def reset(self) -> None:
+        """Reset absolute time and phase accounting."""
+        self._now = 0.0
+        self._phase_totals.clear()
+
+
+@dataclass
+class PhaseTimer:
+    """Records the duration of a single named region on a :class:`SimClock`."""
+
+    clock: SimClock
+    name: str
+    start: float = 0.0
+    elapsed: Optional[float] = None
+
+    def __enter__(self) -> "PhaseTimer":
+        self.start = self.clock.now
+        self._cm = self.clock.phase(self.name)
+        self._cm.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._cm.__exit__(*exc)
+        self.elapsed = self.clock.now - self.start
+
+
+# Canonical phase order used by the matvec engine and all figures.
+PHASE_ORDER = ("pad", "fft", "sbgemv", "ifft", "unpad")
+
+
+@dataclass
+class TimingReport:
+    """Per-phase timing breakdown of one (or averaged) matvec call(s).
+
+    Attributes
+    ----------
+    phases:
+        Mapping from phase name (``pad``, ``fft``, ``sbgemv``, ``ifft``,
+        ``unpad``, and optionally ``comm``) to seconds.
+    setup, cleanup:
+        One-time costs outside the performance-critical loop.
+    reps:
+        Number of repetitions averaged into ``phases``.
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+    setup: float = 0.0
+    cleanup: float = 0.0
+    reps: int = 1
+    label: str = ""
+
+    @property
+    def total(self) -> float:
+        """Sum of all per-phase times (one matvec)."""
+        return float(sum(self.phases.values()))
+
+    def phase(self, name: str) -> float:
+        """Seconds attributed to one phase (0.0 if absent)."""
+        return self.phases.get(name, 0.0)
+
+    def fraction(self, name: str) -> float:
+        """Fraction of total time spent in a phase."""
+        t = self.total
+        return self.phases.get(name, 0.0) / t if t > 0 else 0.0
+
+    def scaled(self, factor: float) -> "TimingReport":
+        """A report with every time multiplied by ``factor``."""
+        return TimingReport(
+            phases={k: v * factor for k, v in self.phases.items()},
+            setup=self.setup * factor,
+            cleanup=self.cleanup * factor,
+            reps=self.reps,
+            label=self.label,
+        )
+
+    def merged(self, other: "TimingReport") -> "TimingReport":
+        """Phase-wise sum of two reports (used to accumulate repetitions)."""
+        phases = dict(self.phases)
+        for k, v in other.phases.items():
+            phases[k] = phases.get(k, 0.0) + v
+        return TimingReport(
+            phases=phases,
+            setup=self.setup + other.setup,
+            cleanup=self.cleanup + other.cleanup,
+            reps=self.reps + other.reps,
+            label=self.label or other.label,
+        )
+
+    def averaged(self) -> "TimingReport":
+        """Average the accumulated repetitions down to one matvec."""
+        n = max(self.reps, 1)
+        return TimingReport(
+            phases={k: v / n for k, v in self.phases.items()},
+            setup=self.setup,
+            cleanup=self.cleanup,
+            reps=1,
+            label=self.label,
+        )
+
+    def lines(self, raw: bool = False) -> List[str]:
+        """Render in the style of the original executable's timing output.
+
+        With ``raw=True`` the output is machine-parseable CSV-ish lines,
+        mirroring the original ``-raw`` flag.
+        """
+        ordered = [p for p in PHASE_ORDER if p in self.phases]
+        ordered += [p for p in sorted(self.phases) if p not in PHASE_ORDER]
+        out: List[str] = []
+        if raw:
+            out.append("setup," + repr(self.setup))
+            out.append("total," + repr(self.total))
+            out.append("cleanup," + repr(self.cleanup))
+            for p in ordered:
+                out.append(f"{p},{self.phases[p]!r}")
+        else:
+            head = f" Timing ({self.label})" if self.label else " Timing"
+            out.append(head)
+            out.append(f"   setup   : {self.setup * 1e3:10.4f} ms")
+            out.append(f"   total   : {self.total * 1e3:10.4f} ms")
+            out.append(f"   cleanup : {self.cleanup * 1e3:10.4f} ms")
+            for p in ordered:
+                out.append(f"   {p:<8}: {self.phases[p] * 1e3:10.4f} ms")
+        return out

@@ -1,0 +1,98 @@
+"""Tests for the SBGEMV host dispatcher and its transition points."""
+
+import numpy as np
+import pytest
+
+from repro.blas.dispatch import SBGEMVDispatcher
+from repro.blas.gemv_kernels import gemv_strided_batched_reference
+from repro.blas.types import BlasDatatype, GemvProblem, Operation
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.specs import MI300X
+
+
+@pytest.fixture
+def disp():
+    return SBGEMVDispatcher(MI300X)
+
+
+class TestTransitionPoints:
+    def test_transposed_has_positive_transition(self, disp):
+        for dt in BlasDatatype:
+            op = Operation.C if dt.is_complex else Operation.T
+            assert disp.transition_point(dt, op) >= 128, dt
+
+    def test_nontranspose_never_optimized(self, disp):
+        assert disp.transition_point(BlasDatatype.Z, Operation.N) == 0
+
+    def test_cached(self, disp):
+        a = disp.transition_point(BlasDatatype.Z, Operation.C)
+        b = disp.transition_point(BlasDatatype.Z, Operation.C)
+        assert a == b
+
+    def test_string_arguments(self, disp):
+        assert disp.transition_point("z", "H") == disp.transition_point(
+            BlasDatatype.Z, Operation.C
+        )
+
+
+class TestSelection:
+    def _prob(self, m, n, op=Operation.C, dt=BlasDatatype.Z):
+        return GemvProblem(m=m, n=n, batch=100, datatype=dt, operation=op)
+
+    def test_nontranspose_uses_rocblas(self, disp):
+        k = disp.select(self._prob(100, 5000, op=Operation.N))
+        assert k.name == "rocblas_sbgemv"
+
+    def test_short_wide_transpose_uses_optimized(self, disp):
+        k = disp.select(self._prob(100, 5000))
+        assert k.name == "optimized_sbgemv"
+
+    def test_fftmatvec_adjoint_case(self, disp):
+        # Nd=100 x Nm=5000 conjugate transpose: the paper's fix target
+        k = disp.select(self._prob(100, 5000, op=Operation.C))
+        assert k.name == "optimized_sbgemv"
+
+    def test_selection_is_faster_or_equal(self, disp):
+        # whatever the dispatcher picks must never lose to the alternative
+        for m, n in [(64, 4096), (512, 512), (4096, 4096), (2048, 8192)]:
+            p = self._prob(m, n)
+            chosen = disp.select(p)
+            t_chosen = chosen.modeled_time(p, MI300X)
+            t_old = disp.rocblas.modeled_time(p, MI300X)
+            assert t_chosen <= t_old * 1.0001
+
+
+class TestGemvEntryPoint:
+    def test_numerics_match_reference(self, rng):
+        disp = SBGEMVDispatcher(MI300X)
+        A = (rng.standard_normal((7, 10, 40))
+             + 1j * rng.standard_normal((7, 10, 40)))
+        x = rng.standard_normal((7, 10)) + 1j * rng.standard_normal((7, 10))
+        got = disp.gemv_strided_batched(A, x, Operation.C)
+        want = gemv_strided_batched_reference(A, x, Operation.C)
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+    def test_dispatch_counts(self, rng):
+        disp = SBGEMVDispatcher(MI300X)
+        A = rng.standard_normal((3, 8, 64)) + 0j
+        xN = rng.standard_normal((3, 64)) + 0j
+        xT = rng.standard_normal((3, 8)) + 0j
+        disp.gemv_strided_batched(A, xN, Operation.N)
+        disp.gemv_strided_batched(A, xT, Operation.C)
+        assert disp.dispatch_counts["rocblas_sbgemv"] == 1
+        assert disp.dispatch_counts["optimized_sbgemv"] == 1
+
+    def test_charges_device(self, rng):
+        disp = SBGEMVDispatcher(MI300X)
+        dev = SimulatedDevice(MI300X)
+        A = rng.standard_normal((3, 8, 64)) + 0j
+        x = rng.standard_normal((3, 8)) + 0j
+        disp.gemv_strided_batched(A, x, Operation.C, device=dev, phase="sbgemv")
+        assert dev.clock.now > 0
+
+    def test_real_single_path(self, rng):
+        disp = SBGEMVDispatcher(MI300X)
+        A = rng.standard_normal((2, 4, 32)).astype(np.float32)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        y = disp.gemv_strided_batched(A, x, Operation.T)
+        assert y.dtype == np.float32

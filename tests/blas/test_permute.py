@@ -1,0 +1,117 @@
+"""Tests for the custom 3-D permutation kernel (cuTENSOR replacement)."""
+
+import numpy as np
+import pytest
+
+from repro.blas.permute import (
+    PERMUTE_KERNEL_NAME,
+    naive_launch_geometry,
+    permute3d,
+    tiled_launch_geometry,
+)
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.kernel import Dim3, KernelLaunch, LaunchConfigError
+from repro.gpu.specs import MI300X
+from repro.util.validation import ReproError
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("perm", [(0, 1, 2), (1, 2, 0), (2, 0, 1),
+                                      (0, 2, 1), (2, 1, 0), (1, 0, 2)])
+    def test_all_permutations(self, rng, perm):
+        t = rng.standard_normal((3, 4, 5))
+        out = permute3d(t, perm)
+        np.testing.assert_array_equal(out, np.transpose(t, perm))
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_complex_supported(self, rng):
+        # the cuTENSOR gap was specifically complex double permutations
+        t = rng.standard_normal((4, 3, 6)) + 1j * rng.standard_normal((4, 3, 6))
+        out = permute3d(t, (2, 0, 1))
+        np.testing.assert_array_equal(out, np.transpose(t, (2, 0, 1)))
+        assert out.dtype == np.complex128
+
+    def test_roundtrip(self, rng):
+        t = rng.standard_normal((5, 6, 7))
+        fwd = permute3d(t, (1, 2, 0))
+        back = permute3d(fwd, (2, 0, 1))
+        np.testing.assert_array_equal(back, t)
+
+    def test_invalid_perm(self, rng):
+        with pytest.raises(ReproError):
+            permute3d(rng.standard_normal((2, 2, 2)), (0, 1, 1))
+
+    def test_rank_checked(self, rng):
+        with pytest.raises(ReproError):
+            permute3d(rng.standard_normal((2, 2)), (0, 1, 2))
+
+
+class TestLaunchGeometry:
+    def test_naive_overflows_at_fftmatvec_scale(self):
+        # the p2o spectrum tensor on a large run: (Nt+1, Nd, Nm) with
+        # Nm = 80000 in the middle after permuting: grid.y > 65535
+        geometry = naive_launch_geometry((1001, 80000, 100))
+        kernel = KernelLaunch(
+            name="naive_permute", grid=geometry, block=Dim3(x=256)
+        )
+        with pytest.raises(LaunchConfigError):
+            kernel.validate(MI300X)
+
+    def test_tiled_fits_at_fftmatvec_scale(self):
+        geometry = tiled_launch_geometry((1001, 80000, 100), MI300X)
+        KernelLaunch(
+            name=PERMUTE_KERNEL_NAME, grid=geometry, block=Dim3(x=256)
+        ).validate(MI300X)
+
+    def test_tiled_covers_all_elements(self):
+        # folded grid must still have >= ceil(c/tile)*b*a blocks' worth
+        shape = (70000, 70000, 10)
+        g = tiled_launch_geometry(shape, MI300X)
+        assert g.y <= 65535 and g.z <= 65535
+        blocks = g.x * g.y * g.z
+        needed = -(-shape[2] // 256) * shape[1] * shape[0]
+        assert blocks >= needed / 256  # folding preserves coverage
+
+    def test_small_tensors_identical(self):
+        # below the limits the tiled geometry degenerates to the naive one
+        shape = (10, 20, 3000)
+        assert tiled_launch_geometry(shape, MI300X) == naive_launch_geometry(shape)
+
+
+class TestDeviceExecution:
+    def test_charges_setup_phase(self, rng):
+        dev = SimulatedDevice(MI300X, record_launches=True)
+        with dev.clock.phase("setup"):
+            permute3d(rng.standard_normal((8, 8, 8)), (2, 0, 1), device=dev)
+        assert dev.clock.phase_total("setup") > 0
+        assert dev.launch_log[0].name == PERMUTE_KERNEL_NAME
+
+    def test_used_by_engine_setup(self, rng):
+        from repro.core.matvec import FFTMatvec
+        from repro.core.toeplitz import BlockTriangularToeplitz
+
+        dev = SimulatedDevice(MI300X, record_launches=True)
+        FFTMatvec(BlockTriangularToeplitz.random(8, 2, 4, rng=rng), device=dev)
+        names = [r.name for r in dev.launch_log]
+        assert names.count(PERMUTE_KERNEL_NAME) == 2  # before + after FFT
+        assert dev.clock.phase_total("setup") > 0
+
+    def test_setup_time_recorded(self, rng):
+        from repro.core.matvec import FFTMatvec
+        from repro.core.toeplitz import BlockTriangularToeplitz
+
+        dev = SimulatedDevice(MI300X)
+        eng = FFTMatvec(BlockTriangularToeplitz.random(8, 2, 4, rng=rng), device=dev)
+        assert eng.setup_time > 0
+
+    def test_setup_spectrum_matches_direct_rfft(self, rng):
+        # the permute->FFT->permute flow must equal the direct transform
+        from repro.core.matvec import FFTMatvec
+        from repro.core.toeplitz import BlockTriangularToeplitz
+
+        matrix = BlockTriangularToeplitz.random(12, 3, 5, rng=rng)
+        eng = FFTMatvec(matrix)
+        direct = np.fft.rfft(matrix.padded_kernel(), axis=0) / 24.0
+        np.testing.assert_allclose(
+            eng._fhat_double_for_tests(), direct, rtol=1e-13, atol=1e-15
+        )

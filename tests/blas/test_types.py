@@ -1,0 +1,92 @@
+"""Tests for BLAS enums and problem descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.blas.types import BlasDatatype, GemvProblem, Operation
+from repro.util.dtypes import Precision
+from repro.util.validation import ReproError
+
+
+class TestOperation:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [("N", Operation.N), ("T", Operation.T), ("C", Operation.C),
+         ("H", Operation.C), ("n", Operation.N), (Operation.T, Operation.T)],
+    )
+    def test_parse(self, token, expected):
+        assert Operation.parse(token) is expected
+
+    def test_bad_token(self):
+        with pytest.raises(ReproError):
+            Operation.parse("Q")
+
+    def test_is_transposed(self):
+        assert not Operation.N.is_transposed
+        assert Operation.T.is_transposed
+        assert Operation.C.is_transposed
+
+
+class TestBlasDatatype:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [("s", BlasDatatype.S), ("z", BlasDatatype.Z),
+         ("float32", BlasDatatype.S), ("complex128", BlasDatatype.Z),
+         ("real double", BlasDatatype.D), ("complex single", BlasDatatype.C)],
+    )
+    def test_parse(self, token, expected):
+        assert BlasDatatype.parse(token) is expected
+
+    def test_from_dtype(self):
+        assert BlasDatatype.from_dtype(np.complex64) is BlasDatatype.C
+        with pytest.raises(ReproError):
+            BlasDatatype.from_dtype(np.int64)
+
+    def test_properties(self):
+        z = BlasDatatype.Z
+        assert z.dtype == np.complex128
+        assert z.itemsize == 16
+        assert z.is_complex
+        assert z.precision is Precision.DOUBLE
+        assert z.function_name == "rocblas_zgemv_strided_batched"
+
+    def test_single_precision_types(self):
+        assert BlasDatatype.S.precision is Precision.SINGLE
+        assert BlasDatatype.C.precision is Precision.SINGLE
+
+
+class TestGemvProblem:
+    def _p(self, m=100, n=5000, batch=1001, dt=BlasDatatype.Z, op=Operation.N):
+        return GemvProblem(m=m, n=n, batch=batch, datatype=dt, operation=op)
+
+    def test_fftmatvec_phase3_shape(self):
+        # the paper's Phase 3: batch Nt+1 matrices of Nd x Nm complex
+        p = self._p()
+        assert p.matrix_bytes == 100 * 5000 * 1001 * 16
+        assert p.is_short_wide
+
+    def test_out_in_lengths(self):
+        p = self._p(op=Operation.N)
+        assert (p.out_len, p.in_len) == (100, 5000)
+        pt = self._p(op=Operation.C)
+        assert (pt.out_len, pt.in_len) == (5000, 100)
+
+    def test_total_bytes(self):
+        p = self._p(batch=1)
+        assert p.total_bytes == p.matrix_bytes + (5000 + 100) * 16
+
+    def test_conjugate_real_rejected(self):
+        with pytest.raises(ReproError):
+            self._p(dt=BlasDatatype.D, op=Operation.C)
+
+    def test_real_transpose_allowed(self):
+        self._p(dt=BlasDatatype.D, op=Operation.T)
+
+    def test_positive_dims_required(self):
+        with pytest.raises(ReproError):
+            self._p(m=0)
+        with pytest.raises(ReproError):
+            self._p(batch=-1)
+
+    def test_describe(self):
+        assert "rocblas_zgemv_strided_batched" in self._p().describe()

@@ -1,0 +1,85 @@
+"""Tests for the 2D process grid."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.comm.grid import ProcessGrid
+from repro.util.validation import ReproError
+
+
+class TestRankArithmetic:
+    def test_row_major_layout(self):
+        g = ProcessGrid(2, 3)
+        # row-major: a grid row occupies contiguous ranks
+        assert g.rank_of(0, 0) == 0
+        assert g.rank_of(0, 2) == 2
+        assert g.rank_of(1, 0) == 3
+
+    def test_roundtrip(self):
+        g = ProcessGrid(4, 8)
+        for rank in range(g.size):
+            r, c = g.coords_of(rank)
+            assert g.rank_of(r, c) == rank
+
+    def test_out_of_range(self):
+        g = ProcessGrid(2, 2)
+        with pytest.raises(ReproError):
+            g.rank_of(2, 0)
+        with pytest.raises(ReproError):
+            g.coords_of(4)
+
+
+class TestSubcommunicators:
+    def test_row_comm_contiguous(self):
+        g = ProcessGrid(4, 16)
+        rc = g.row_comm(1)
+        assert rc.size == 16
+        assert rc.span == 16  # contiguous
+
+    def test_col_comm_spans_machine(self):
+        g = ProcessGrid(4, 16)
+        cc = g.col_comm(0)
+        assert cc.size == 4
+        assert cc.span == 3 * 16 + 1  # strided by pc
+
+    def test_bounds(self):
+        g = ProcessGrid(2, 2)
+        with pytest.raises(ReproError):
+            g.row_comm(2)
+        with pytest.raises(ReproError):
+            g.col_comm(5)
+
+    def test_shared_clock(self):
+        g = ProcessGrid(2, 2)
+        assert g.row_comm(0).clock is g.clock
+        assert g.col_comm(1).clock is g.clock
+
+
+class TestSplitExtent:
+    def test_even(self):
+        assert ProcessGrid.split_extent(10, 2) == [(0, 5), (5, 10)]
+
+    def test_uneven_front_loaded(self):
+        # ceil-based ownership: early ranks get the extra elements
+        assert ProcessGrid.split_extent(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_items(self):
+        parts = ProcessGrid.split_extent(2, 4)
+        sizes = [b - a for a, b in parts]
+        assert sizes == [1, 1, 0, 0]
+
+    @given(st.integers(1, 1000), st.integers(1, 64))
+    def test_property_partition(self, n, parts):
+        ext = ProcessGrid.split_extent(n, parts)
+        assert ext[0][0] == 0 and ext[-1][1] == n
+        # contiguous, non-overlapping, sizes differ by at most 1
+        for (a0, b0), (a1, b1) in zip(ext, ext[1:]):
+            assert b0 == a1
+        sizes = [b - a for a, b in ext]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+    def test_local_rows_cols(self):
+        g = ProcessGrid(2, 4)
+        assert g.local_rows(100, 0) == (0, 50)
+        assert g.local_cols(100, 3) == (75, 100)

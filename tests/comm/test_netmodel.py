@@ -1,0 +1,43 @@
+"""Tests for the hierarchical network model."""
+
+import pytest
+
+from repro.comm.netmodel import FRONTIER_NETWORK, SIMPLE_NETWORK
+from repro.util.validation import ReproError
+
+
+class TestGroupsSpanned:
+    def test_within_group(self):
+        assert FRONTIER_NETWORK.groups_spanned(1) == 1
+        assert FRONTIER_NETWORK.groups_spanned(512) == 1
+
+    def test_across_groups(self):
+        assert FRONTIER_NETWORK.groups_spanned(513) == 2
+        assert FRONTIER_NETWORK.groups_spanned(4096) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            FRONTIER_NETWORK.groups_spanned(0)
+
+    def test_simple_network_is_flat(self):
+        assert SIMPLE_NETWORK.groups_spanned(10**6) == 1
+
+
+class TestStepTimes:
+    def test_congestion_scales_with_participants(self):
+        small = FRONTIER_NETWORK.inter_step_latency(16)
+        large = FRONTIER_NETWORK.inter_step_latency(4096)
+        assert large > 10 * small
+
+    def test_intra_step_includes_volume(self):
+        t0 = FRONTIER_NETWORK.intra_step_time(0)
+        t1 = FRONTIER_NETWORK.intra_step_time(1e9)
+        assert t1 > t0
+        assert t0 == pytest.approx(FRONTIER_NETWORK.alpha_intra)
+
+    def test_inter_slower_than_intra(self):
+        assert FRONTIER_NETWORK.inter_step_time(1e6, 2) > FRONTIER_NETWORK.intra_step_time(1e6)
+
+    def test_paper_nic_bandwidth(self):
+        # Section 4.2.2: "the network bandwidth is 100 GB/s"
+        assert 1.0 / FRONTIER_NETWORK.beta_inter == pytest.approx(100e9)

@@ -1,0 +1,94 @@
+"""Tests for communication-aware partitioning (Section 3.7 / 4.2.2)."""
+
+import pytest
+
+from repro.comm.netmodel import FRONTIER_NETWORK
+from repro.comm.partition import (
+    candidate_rows,
+    communication_aware_partition,
+    matvec_comm_cost,
+    published_frontier_rows,
+)
+from repro.util.validation import ReproError
+
+
+class TestPublishedSchedule:
+    @pytest.mark.parametrize("p,rows", [
+        (8, 1), (64, 1), (256, 1), (512, 1),
+        (1024, 8), (2048, 8), (4096, 16),
+    ])
+    def test_paper_values(self, p, rows):
+        # Section 4.2.2: "One processor row was used when computing on 512
+        # or fewer GPUs, eight processor rows ... for 1,024 and 2,048
+        # GPUs, and 16 processor rows ... for 4,096 GPUs."
+        assert published_frontier_rows(p) == rows
+
+    def test_indivisible_falls_back(self):
+        assert published_frontier_rows(1025) == 1
+
+
+class TestCandidateRows:
+    def test_powers_of_two_dividing(self):
+        assert candidate_rows(8) == (1, 2, 4, 8)
+        assert candidate_rows(12) == (1, 2, 4)
+
+    def test_one(self):
+        assert candidate_rows(1) == (1,)
+
+
+class TestCommCost:
+    def _cost(self, p, pr):
+        return matvec_comm_cost(5000 * p, 100, 1000, pr, p // pr, net=FRONTIER_NETWORK)
+
+    def test_one_row_cheap_at_small_scale(self):
+        # within one network group the single-row reduce is nearly free
+        assert self._cost(64, 1) < 1e-3
+
+    def test_one_row_explodes_past_group_size(self):
+        assert self._cost(4096, 1) > 10 * self._cost(512, 1)
+
+    def test_multi_row_wins_at_4096(self):
+        # the paper reports >3x from communication-aware partitioning
+        naive = self._cost(4096, 1)
+        for pr in (8, 16):
+            assert naive > 3 * self._cost(4096, pr)
+
+    def test_one_row_optimal_at_512(self):
+        assert self._cost(512, 1) < self._cost(512, 2)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ReproError):
+            matvec_comm_cost(100, 10, 10, 0, 4)
+
+
+class TestPartitionSearch:
+    def test_small_scale_picks_one_row(self):
+        for p in (8, 64, 512):
+            pr, pc = communication_aware_partition(5000 * p, 100, 1000, p)
+            assert pr == 1 and pc == p
+
+    def test_large_scale_picks_multiple_rows(self):
+        for p in (1024, 2048, 4096):
+            pr, pc = communication_aware_partition(5000 * p, 100, 1000, p)
+            assert pr > 1
+            assert pr * pc == p
+
+    def test_respects_rows_to_try(self):
+        pr, pc = communication_aware_partition(
+            5000 * 4096, 100, 1000, 4096, rows_to_try=[1, 16]
+        )
+        assert pr == 16
+
+    def test_bad_rows_to_try(self):
+        with pytest.raises(ReproError):
+            communication_aware_partition(1000, 10, 10, 8, rows_to_try=[3])
+
+    def test_optimum_not_worse_than_published(self):
+        # the model's argmin must be at least as good as the published
+        # schedule under the model's own cost
+        for p in (512, 1024, 2048, 4096):
+            pr_model, pc_model = communication_aware_partition(5000 * p, 100, 1000, p)
+            cost_model = matvec_comm_cost(5000 * p, 100, 1000, pr_model, pc_model)
+            pr_pub = published_frontier_rows(p)
+            cost_pub = matvec_comm_cost(5000 * p, 100, 1000, pr_pub, p // pr_pub)
+            assert cost_model <= cost_pub * 1.0001

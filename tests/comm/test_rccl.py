@@ -1,0 +1,133 @@
+"""Tests for the RCCL/NCCL-flavored API layer."""
+
+import numpy as np
+import pytest
+
+from repro.comm.netmodel import FRONTIER_NETWORK
+from repro.comm.rccl import (
+    NcclDataType,
+    NcclOp,
+    comm_init_rank,
+    get_unique_id,
+)
+from repro.util.timing import SimClock
+from repro.util.validation import ReproError
+
+
+def make_world(n, clock=None):
+    uid = get_unique_id(n, clock=clock)
+    return uid, [comm_init_rank(uid, r) for r in range(n)]
+
+
+class TestInit:
+    def test_init_all_ranks(self):
+        _, comms = make_world(4)
+        assert [c.rank for c in comms] == [0, 1, 2, 3]
+        assert all(c.nranks == 4 for c in comms)
+
+    def test_duplicate_rank_rejected(self):
+        uid, _ = make_world(2)
+        with pytest.raises(ReproError):
+            comm_init_rank(uid, 0)
+
+    def test_rank_out_of_range(self):
+        uid = get_unique_id(2)
+        with pytest.raises(ReproError):
+            comm_init_rank(uid, 2)
+
+    def test_destroy(self):
+        _, comms = make_world(2)
+        comms[0].destroy()
+        with pytest.raises(ReproError):
+            comms[0].destroy()
+        with pytest.raises(ReproError):
+            comms[0].all_reduce(np.zeros(2), NcclDataType.ncclDouble)
+
+
+class TestAllReduce:
+    def test_sum(self, rng):
+        _, comms = make_world(4)
+        data = [rng.standard_normal(8) for _ in range(4)]
+        results = []
+        for c, d in zip(comms, data):
+            results.append(c.all_reduce(d, NcclDataType.ncclDouble))
+        # only the last arriving rank gets the result synchronously
+        assert all(r is None for r in results[:-1])
+        total = np.sum(data, axis=0)
+        for c in comms:
+            np.testing.assert_allclose(c.fetch_result(), total, rtol=1e-13, atol=1e-13)
+
+    def test_completes_only_when_all_ranks_arrive(self, rng):
+        # the NCCL contract the rendezvous models
+        _, comms = make_world(3)
+        assert comms[0].all_reduce(np.ones(2), NcclDataType.ncclDouble) is None
+        assert comms[1].all_reduce(np.ones(2), NcclDataType.ncclDouble) is None
+        out = comms[2].all_reduce(np.ones(2), NcclDataType.ncclDouble)
+        np.testing.assert_array_equal(out, 3 * np.ones(2))
+
+    def test_double_call_before_completion_rejected(self):
+        _, comms = make_world(2)
+        comms[0].all_reduce(np.ones(1), NcclDataType.ncclDouble)
+        with pytest.raises(ReproError, match="twice"):
+            comms[0].all_reduce(np.ones(1), NcclDataType.ncclDouble)
+
+    def test_float_precision(self, rng):
+        _, comms = make_world(2)
+        data = [rng.standard_normal(4) for _ in range(2)]
+        for c, d in zip(comms, data):
+            c.all_reduce(d, NcclDataType.ncclFloat)
+        assert comms[0].fetch_result().dtype == np.float32
+
+    def test_max_op(self):
+        _, comms = make_world(2)
+        comms[0].all_reduce(np.array([1.0, 5.0]), NcclDataType.ncclDouble, NcclOp.ncclMax)
+        comms[1].all_reduce(np.array([3.0, 2.0]), NcclDataType.ncclDouble, NcclOp.ncclMax)
+        np.testing.assert_array_equal(comms[0].fetch_result(), [3.0, 5.0])
+
+    def test_charges_clock(self, rng):
+        clock = SimClock()
+        uid = get_unique_id(4, clock=clock)
+        comms = [comm_init_rank(uid, r) for r in range(4)]
+        for c in comms:
+            c.all_reduce(rng.standard_normal(1000), NcclDataType.ncclDouble)
+        assert clock.now > 0
+
+
+class TestBroadcast:
+    def test_root_value_distributed(self, rng):
+        _, comms = make_world(3)
+        payloads = [rng.standard_normal(5) for _ in range(3)]
+        for c, p in zip(comms, payloads):
+            c.broadcast(p, root=1, datatype=NcclDataType.ncclDouble)
+        for c in comms:
+            np.testing.assert_array_equal(c.fetch_result(), payloads[1])
+
+    def test_root_disagreement_detected(self):
+        _, comms = make_world(2)
+        comms[0].broadcast(np.zeros(1), root=0, datatype=NcclDataType.ncclDouble)
+        with pytest.raises(ReproError, match="disagree"):
+            comms[1].broadcast(np.zeros(1), root=1, datatype=NcclDataType.ncclDouble)
+
+
+class TestGroupSemantics:
+    def test_group_defers_until_end(self, rng):
+        _, comms = make_world(2)
+        data = [rng.standard_normal(3) for _ in range(2)]
+        for c, d in zip(comms, data):
+            c.group_start()
+            assert c.all_reduce(d, NcclDataType.ncclDouble) is None
+        for c in comms:
+            c.group_end()
+        total = np.sum(data, axis=0)
+        for c in comms:
+            np.testing.assert_allclose(c.fetch_result(), total, rtol=1e-13)
+
+    def test_unmatched_group_end(self):
+        _, comms = make_world(1)
+        with pytest.raises(ReproError):
+            comms[0].group_end()
+
+    def test_fetch_without_collective(self):
+        _, comms = make_world(1)
+        with pytest.raises(ReproError):
+            comms[0].fetch_result()

@@ -1,0 +1,115 @@
+"""Tests for the SPMD communicator."""
+
+import numpy as np
+import pytest
+
+from repro.comm.netmodel import FRONTIER_NETWORK, SIMPLE_NETWORK
+from repro.comm.simcomm import SimCommunicator
+from repro.util.dtypes import Precision
+from repro.util.timing import SimClock
+from repro.util.validation import ReproError
+
+
+@pytest.fixture
+def comm():
+    return SimCommunicator(4, clock=SimClock())
+
+
+class TestBcast:
+    def test_all_ranks_receive(self, comm, rng):
+        x = rng.standard_normal(10)
+        out = comm.bcast(x)
+        assert len(out) == 4
+        for o in out:
+            np.testing.assert_array_equal(o, x)
+
+    def test_copies_are_independent(self, comm):
+        out = comm.bcast(np.zeros(3))
+        out[0][0] = 7.0
+        assert out[1][0] == 0.0
+
+    def test_invalid_root(self, comm):
+        with pytest.raises(ReproError):
+            comm.bcast(np.zeros(2), root=4)
+
+    def test_advances_clock(self, comm):
+        t0 = comm.clock.now
+        comm.bcast(np.zeros(1000))
+        assert comm.clock.now > t0
+
+
+class TestReduce:
+    def test_sums_contributions(self, comm, rng):
+        arrays = [rng.standard_normal(8) for _ in range(4)]
+        out = comm.reduce(arrays)
+        np.testing.assert_allclose(out, np.sum(arrays, axis=0), rtol=1e-13, atol=1e-13)
+
+    def test_wrong_count(self, comm):
+        with pytest.raises(ReproError, match="4 per-rank"):
+            comm.reduce([np.zeros(2)] * 3)
+
+    def test_precision(self, comm, rng):
+        arrays = [rng.standard_normal(8) for _ in range(4)]
+        out = comm.reduce(arrays, precision=Precision.SINGLE)
+        assert out.dtype == np.float32
+
+    def test_phase_attribution(self, rng):
+        clock = SimClock()
+        comm = SimCommunicator(4, net=FRONTIER_NETWORK, clock=clock)
+        comm.reduce([rng.standard_normal(4)] * 4, phase="unpad")
+        assert clock.phase_total("unpad") > 0
+
+
+class TestAllreduce:
+    def test_every_rank_gets_sum(self, comm, rng):
+        arrays = [rng.standard_normal(5) for _ in range(4)]
+        outs = comm.allreduce(arrays)
+        total = np.sum(arrays, axis=0)
+        for o in outs:
+            np.testing.assert_allclose(o, total, rtol=1e-13, atol=1e-13)
+
+    def test_costs_two_trees(self, rng):
+        c1 = SimCommunicator(8, net=FRONTIER_NETWORK, clock=SimClock())
+        c2 = SimCommunicator(8, net=FRONTIER_NETWORK, clock=SimClock())
+        a = [rng.standard_normal(100) for _ in range(8)]
+        c1.reduce(a)
+        c2.allreduce(a)
+        assert c2.clock.now == pytest.approx(2 * c1.clock.now)
+
+
+class TestAllgatherScatter:
+    def test_allgather(self, comm):
+        parts = [np.full(2, r, dtype=float) for r in range(4)]
+        outs = comm.allgather(parts)
+        np.testing.assert_array_equal(outs[0], [0, 0, 1, 1, 2, 2, 3, 3])
+        assert len(outs) == 4
+
+    def test_scatter(self, comm):
+        chunks = [np.full(3, r, dtype=float) for r in range(4)]
+        outs = comm.scatter(chunks)
+        for r, o in enumerate(outs):
+            np.testing.assert_array_equal(o, np.full(3, r))
+
+    def test_barrier(self, comm):
+        t0 = comm.clock.now
+        comm.barrier()
+        assert comm.clock.now >= t0
+
+
+class TestAccounting:
+    def test_collective_calls_counted(self, comm, rng):
+        comm.bcast(np.zeros(4))
+        comm.reduce([rng.standard_normal(4)] * 4)
+        assert comm.collective_calls == 2
+        assert comm.bytes_communicated > 0
+
+    def test_size_one_comm_is_free(self, rng):
+        clock = SimClock()
+        c = SimCommunicator(1, net=FRONTIER_NETWORK, clock=clock)
+        c.bcast(np.zeros(100))
+        c.reduce([np.zeros(100)])
+        assert clock.now == 0.0
+
+    def test_span_defaults_to_size(self):
+        assert SimCommunicator(8).span == 8
+        assert SimCommunicator(8, span=100).span == 100

@@ -1,0 +1,20 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests needing other seeds construct their own."""
+    return np.random.default_rng(12345)
+
+
+def rel_err(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative L2 error ||a - b|| / ||b|| (0 if both zero)."""
+    denom = float(np.linalg.norm(b))
+    if denom == 0.0:
+        return float(np.linalg.norm(a))
+    return float(np.linalg.norm(np.asarray(a) - np.asarray(b))) / denom

@@ -1,0 +1,108 @@
+"""Tests for the overlapped matvec pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.matvec import FFTMatvec
+from repro.core.pipeline import HostModel, OverlappedMatvecRunner
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.specs import MI300X
+from repro.util.validation import ReproError
+
+
+@pytest.fixture
+def engine(rng):
+    matrix = BlockTriangularToeplitz.random(16, 3, 24, rng=rng)
+    return FFTMatvec(matrix, device=SimulatedDevice(MI300X))
+
+
+class TestHostModel:
+    def test_defaults(self):
+        h = HostModel()
+        assert h.per_vector == h.gen_time + h.save_time
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            HostModel(gen_time=-1.0)
+
+
+class TestRunner:
+    def test_outputs_match_direct_matvecs(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine)
+        inputs = [rng.standard_normal((16, 24)) for _ in range(5)]
+        outputs, _ = runner.run(inputs)
+        for v, o in zip(inputs, outputs):
+            np.testing.assert_array_equal(o, engine.matvec(v))
+
+    def test_needs_device(self, rng):
+        eng = FFTMatvec(BlockTriangularToeplitz.random(4, 2, 3, rng=rng))
+        with pytest.raises(ReproError):
+            OverlappedMatvecRunner(eng)
+
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ReproError):
+            OverlappedMatvecRunner(engine).run([])
+
+    def test_overlap_always_helps(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine, HostModel(50e-6, 100e-6))
+        inputs = [rng.standard_normal((16, 24)) for _ in range(8)]
+        _, report = runner.run(inputs)
+        assert report.overlapped_total < report.serial_total
+        assert report.overlap_speedup > 1.0
+
+    def test_device_bound_hides_host_entirely(self, engine, rng):
+        # tiny host costs: overlapped ~= device time
+        runner = OverlappedMatvecRunner(engine, HostModel(1e-9, 1e-9))
+        inputs = [rng.standard_normal((16, 24)) for _ in range(4)]
+        _, report = runner.run(inputs)
+        assert report.device_bound
+        assert report.overlapped_total == pytest.approx(
+            report.device_time, rel=1e-3
+        )
+
+    def test_host_bound_converges_to_host_time(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine, HostModel(5e-3, 5e-3))
+        inputs = [rng.standard_normal((16, 24)) for _ in range(4)]
+        _, report = runner.run(inputs)
+        assert not report.device_bound
+        # host-bound: total = prologue + n*per_vector + epilogue
+        assert report.overlapped_total == pytest.approx(
+            report.host_time + 10e-3, rel=0.05
+        )
+
+    def test_sink_called_in_order(self, engine, rng):
+        seen = []
+        runner = OverlappedMatvecRunner(engine)
+        runner.run(
+            [rng.standard_normal((16, 24)) for _ in range(3)],
+            sink=lambda i, out: seen.append(i),
+        )
+        assert seen == [0, 1, 2]
+
+    def test_adjoint_direction(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine)
+        inputs = [rng.standard_normal((16, 3)) for _ in range(2)]
+        outputs, _ = runner.run(inputs, adjoint=True)
+        assert outputs[0].shape == (16, 24)
+
+
+class TestColumnAssembly:
+    def test_assembles_adjoint_columns(self, engine):
+        runner = OverlappedMatvecRunner(engine)
+        cols, report = runner.assemble_columns([0, 5, 17], adjoint=True)
+        assert cols.shape == (16 * 24, 3)
+        assert report.n_vectors == 3
+        # column j is F^T e_j: cross-check against the dense transpose
+        dense = engine.matrix.dense()
+        np.testing.assert_allclose(cols[:, 1], dense.T[:, 5], rtol=1e-10, atol=1e-12)
+
+    def test_forward_columns(self, engine):
+        runner = OverlappedMatvecRunner(engine)
+        cols, _ = runner.assemble_columns([2], adjoint=False)
+        dense = engine.matrix.dense()
+        np.testing.assert_allclose(cols[:, 0], dense[:, 2], rtol=1e-10, atol=1e-12)
+
+    def test_bad_index(self, engine):
+        with pytest.raises(ReproError):
+            OverlappedMatvecRunner(engine).assemble_columns([16 * 3])

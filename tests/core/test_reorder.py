@@ -1,0 +1,95 @@
+"""Tests for SOTI/TOSI reorders and pad/unpad phase kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.phases import pad_to_soti, unpad_from_soti
+from repro.core.reorder import reorder_bytes, soti_to_tosi, tosi_to_soti
+from repro.gpu.device import SimulatedDevice
+from repro.util.dtypes import Precision
+from repro.util.validation import ReproError
+
+
+class TestReorders:
+    def test_roundtrip(self, rng):
+        v = rng.standard_normal((7, 11))
+        np.testing.assert_array_equal(soti_to_tosi(tosi_to_soti(v)), v)
+
+    def test_transpose_semantics(self, rng):
+        v = rng.standard_normal((3, 5))
+        np.testing.assert_array_equal(tosi_to_soti(v), v.T)
+
+    def test_fused_cast(self, rng):
+        v = rng.standard_normal((4, 4))
+        out = tosi_to_soti(v, precision=Precision.SINGLE)
+        assert out.dtype == np.float32
+
+    def test_complex_preserved(self, rng):
+        v = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        out = soti_to_tosi(v, precision=Precision.SINGLE)
+        assert out.dtype == np.complex64
+
+    def test_contiguous_output(self, rng):
+        out = tosi_to_soti(rng.standard_normal((5, 9)))
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_1d_rejected(self):
+        with pytest.raises(ReproError):
+            tosi_to_soti(np.zeros(5))
+
+    def test_device_charged(self, rng):
+        dev = SimulatedDevice("MI300X")
+        tosi_to_soti(rng.standard_normal((100, 100)), device=dev, phase="sbgemv")
+        assert dev.clock.now > 0
+
+    def test_reorder_bytes(self):
+        assert reorder_bytes((10, 10), 8, 4) == 1200.0
+
+
+class TestPad:
+    def test_shape_and_content(self, rng):
+        v = rng.standard_normal((6, 4))  # (Nt, nx)
+        out = pad_to_soti(v, Precision.DOUBLE)
+        assert out.shape == (4, 12)  # (nx, 2*Nt)
+        np.testing.assert_array_equal(out[:, :6], v.T)
+        assert np.all(out[:, 6:] == 0)
+
+    def test_single_precision_output(self, rng):
+        out = pad_to_soti(rng.standard_normal((3, 2)), Precision.SINGLE)
+        assert out.dtype == np.float32
+
+    def test_double_pad_is_exact(self, rng):
+        v = rng.standard_normal((5, 3))
+        out = pad_to_soti(v, Precision.DOUBLE)
+        np.testing.assert_array_equal(out[:, :5], v.T)  # bitwise
+
+    def test_complex_rejected(self):
+        with pytest.raises(ReproError):
+            pad_to_soti(np.zeros((2, 2), dtype=complex), Precision.DOUBLE)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ReproError):
+            pad_to_soti(np.zeros(4), Precision.DOUBLE)
+
+    def test_device_charged(self, rng):
+        dev = SimulatedDevice("MI300X")
+        pad_to_soti(rng.standard_normal((64, 64)), Precision.DOUBLE, device=dev)
+        assert dev.clock.now > 0
+
+
+class TestUnpad:
+    def test_inverse_of_pad(self, rng):
+        v = rng.standard_normal((6, 4))
+        padded = pad_to_soti(v, Precision.DOUBLE)
+        back = unpad_from_soti(padded, 6, Precision.DOUBLE)
+        np.testing.assert_array_equal(back, v)
+
+    def test_wrong_padded_length(self, rng):
+        with pytest.raises(ReproError, match="padded length"):
+            unpad_from_soti(rng.standard_normal((4, 10)), 6, Precision.DOUBLE)
+
+    def test_cast_fused(self, rng):
+        padded = rng.standard_normal((4, 12))
+        out = unpad_from_soti(padded, 6, Precision.SINGLE)
+        assert out.dtype == np.float32
+        assert out.shape == (6, 4)

@@ -1,0 +1,58 @@
+"""Tests for the FFT error-bound helpers and their empirical validity."""
+
+import numpy as np
+import pytest
+
+from repro.fft.error import fft_error_bound, fft_operator_norm, ifft_operator_norm
+from repro.fft.radix import fft_radix2
+from repro.util.dtypes import Precision
+
+
+class TestOperatorNorms:
+    def test_fft_norm(self):
+        assert fft_operator_norm(2000) == pytest.approx(np.sqrt(2000))
+
+    def test_ifft_norm(self):
+        assert ifft_operator_norm(2000) == pytest.approx(1 / np.sqrt(2000))
+
+    def test_product_is_identity_scale(self):
+        assert fft_operator_norm(64) * ifft_operator_norm(64) == pytest.approx(1.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            fft_operator_norm(0)
+
+    def test_empirical_norm_attained(self, rng):
+        # ||FFT x|| <= sqrt(n) ||x||, tight for e.g. constant vectors
+        n = 128
+        x = np.ones(n, dtype=complex)
+        assert np.linalg.norm(np.fft.fft(x)) == pytest.approx(
+            fft_operator_norm(n) * np.linalg.norm(x)
+        )
+
+
+class TestErrorBound:
+    def test_scales_with_eps(self):
+        bs = fft_error_bound(1024, Precision.SINGLE)
+        bd = fft_error_bound(1024, Precision.DOUBLE)
+        assert bs / bd == pytest.approx(2.0**29, rel=0.01)
+
+    def test_log_growth(self):
+        assert fft_error_bound(2**20, Precision.SINGLE) == pytest.approx(
+            2 * fft_error_bound(2**10, Precision.SINGLE)
+        )
+
+    def test_n1_is_zero(self):
+        assert fft_error_bound(1, Precision.SINGLE) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fft_error_bound(0, Precision.SINGLE)
+
+    @pytest.mark.parametrize("n", [256, 4096])
+    def test_bound_dominates_measured_error(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        exact = np.fft.fft(x)
+        approx = fft_radix2(x, precision=Precision.SINGLE)
+        measured = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert measured <= fft_error_bound(n, Precision.SINGLE)

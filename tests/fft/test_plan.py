@@ -1,0 +1,149 @@
+"""Tests for the cuFFT-style batched FFT plans."""
+
+import numpy as np
+import pytest
+
+from repro.fft.plan import FFTPlan, FFTType, plan_many
+from repro.gpu.device import SimulatedDevice
+from repro.util.dtypes import Precision
+from repro.util.validation import ReproError
+
+
+class TestFFTType:
+    def test_precisions(self):
+        assert FFTType.D2Z.precision is Precision.DOUBLE
+        assert FFTType.R2C.precision is Precision.SINGLE
+        assert FFTType.C2C.precision is Precision.SINGLE
+
+    def test_constructors(self):
+        assert FFTType.real_forward(Precision.DOUBLE) is FFTType.D2Z
+        assert FFTType.real_forward(Precision.SINGLE) is FFTType.R2C
+        assert FFTType.real_inverse(Precision.DOUBLE) is FFTType.Z2D
+        assert FFTType.complex_complex(Precision.DOUBLE) is FFTType.Z2Z
+
+
+class TestForward:
+    def test_matches_numpy_rfft_double(self, rng):
+        x = rng.standard_normal((5, 64))
+        plan = FFTPlan(64, 5, FFTType.D2Z)
+        out = plan.execute(x)
+        assert out.dtype == np.complex128
+        np.testing.assert_allclose(out, np.fft.rfft(x, axis=1), rtol=1e-13)
+
+    def test_single_precision_native(self, rng):
+        x = rng.standard_normal((3, 128)).astype(np.float32)
+        plan = FFTPlan(128, 3, FFTType.R2C)
+        out = plan.execute(x)
+        assert out.dtype == np.complex64  # computed in single, not cast down
+
+    def test_single_precision_has_single_error(self, rng):
+        x = rng.standard_normal((2, 1024))
+        exact = np.fft.rfft(x, axis=1)
+        approx = FFTPlan(1024, 2, FFTType.R2C).execute(x)
+        err = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert 1e-9 < err < 1e-5  # genuinely single precision
+
+    def test_half_spectrum_length(self):
+        plan = FFTPlan(100, 1, FFTType.D2Z)
+        assert plan.half_len == 51
+        out = plan.execute(np.ones(100))
+        assert out.shape == (1, 51)
+
+    def test_complex_forward(self, rng):
+        x = rng.standard_normal((4, 32)) + 1j * rng.standard_normal((4, 32))
+        out = FFTPlan(32, 4, FFTType.Z2Z).execute(x)
+        np.testing.assert_allclose(out, np.fft.fft(x, axis=1), rtol=1e-13)
+
+    def test_shape_validation(self, rng):
+        plan = FFTPlan(64, 5, FFTType.D2Z)
+        with pytest.raises(ReproError):
+            plan.execute(rng.standard_normal((4, 64)))  # wrong batch
+        with pytest.raises(ReproError):
+            plan.execute(rng.standard_normal((5, 32)))  # wrong length
+
+    def test_1d_input_needs_batch_1(self, rng):
+        plan = FFTPlan(64, 1, FFTType.D2Z)
+        out = plan.execute(rng.standard_normal(64))
+        assert out.shape == (1, 33)
+        plan5 = FFTPlan(64, 5, FFTType.D2Z)
+        with pytest.raises(ReproError):
+            plan5.execute(rng.standard_normal(64))
+
+    def test_inverse_only_plan_rejects_execute(self):
+        plan = FFTPlan(64, 1, FFTType.Z2D)
+        with pytest.raises(ReproError, match="inverse-only"):
+            plan.execute(np.ones(64))
+
+
+class TestInverse:
+    def test_unnormalized_roundtrip(self, rng):
+        # cuFFT convention: IFFT(FFT(x)) == n * x
+        n = 128
+        x = rng.standard_normal((3, n))
+        fwd = FFTPlan(n, 3, FFTType.D2Z)
+        inv = FFTPlan(n, 3, FFTType.Z2D)
+        back = inv.inverse(fwd.execute(x))
+        np.testing.assert_allclose(back, n * x, rtol=1e-12)
+
+    def test_inverse_dtype_single(self, rng):
+        spec = np.fft.rfft(rng.standard_normal((2, 64)), axis=1).astype(np.complex64)
+        out = FFTPlan(64, 2, FFTType.C2R).inverse(spec)
+        assert out.dtype == np.float32
+
+    def test_forward_only_plan_rejects_inverse(self):
+        plan = FFTPlan(64, 1, FFTType.D2Z)
+        with pytest.raises(ReproError, match="forward-only"):
+            plan.inverse(np.ones(33, dtype=np.complex128))
+
+    def test_inverse_shape_validation(self):
+        plan = FFTPlan(64, 2, FFTType.Z2D)
+        with pytest.raises(ReproError):
+            plan.inverse(np.ones((2, 64), dtype=np.complex128))  # needs half_len
+
+
+class TestDeviceCharging:
+    def test_execution_advances_clock(self, rng):
+        dev = SimulatedDevice("MI300X")
+        plan = FFTPlan(1024, 16, FFTType.D2Z, device=dev)
+        plan.execute(rng.standard_normal((16, 1024)), phase="fft")
+        assert dev.clock.now > 0
+        assert dev.clock.phase_total("fft") == 0  # phases open at caller level
+
+    def test_bigger_batch_costs_more(self, rng):
+        d1, d2 = SimulatedDevice("MI300X"), SimulatedDevice("MI300X")
+        FFTPlan(512, 4, FFTType.D2Z, device=d1).execute(rng.standard_normal((4, 512)))
+        FFTPlan(512, 64, FFTType.D2Z, device=d2).execute(rng.standard_normal((64, 512)))
+        assert d2.clock.now > d1.clock.now
+
+    def test_single_cheaper_than_double(self, rng):
+        d1, d2 = SimulatedDevice("MI300X"), SimulatedDevice("MI300X")
+        x = rng.standard_normal((64, 2048))
+        FFTPlan(2048, 64, FFTType.D2Z, device=d1).execute(x)
+        FFTPlan(2048, 64, FFTType.R2C, device=d2).execute(x.astype(np.float32))
+        assert d2.clock.now < d1.clock.now
+
+    def test_execution_counter(self, rng):
+        plan = FFTPlan(64, 1, FFTType.D2Z)
+        plan.execute(rng.standard_normal(64))
+        plan.execute(rng.standard_normal(64))
+        assert plan.executions == 2
+
+
+class TestPlanMany:
+    def test_defaults(self):
+        plan = plan_many(128, 10)
+        assert plan.fft_type is FFTType.D2Z
+
+    def test_inverse_single(self):
+        plan = plan_many(128, 10, precision=Precision.SINGLE, forward=False)
+        assert plan.fft_type is FFTType.C2R
+
+    def test_complex(self):
+        plan = plan_many(128, 10, real=False)
+        assert plan.fft_type is FFTType.Z2Z
+
+    def test_invalid_sizes(self):
+        with pytest.raises(Exception):
+            plan_many(0, 1)
+        with pytest.raises(Exception):
+            plan_many(8, -1)

@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.figures.plot import bar_chart, line_chart
+from repro.util.validation import ReproError
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([1, 2, 3, 4], [1.0, 2.0, 3.0, 2.5], title="T", height=5)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        chart_rows = [l for l in lines if l.rstrip().endswith("|")]
+        assert sum(ln.count("o") for ln in chart_rows) == 4
+
+    def test_extremes_on_first_last_rows(self):
+        out = line_chart([1, 2], [0.0, 10.0], height=4)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "o" in lines[0]  # max on top row
+        assert "o" in lines[-1]  # min on bottom row
+
+    def test_log_scale(self):
+        out = line_chart([1, 2, 3], [1e-8, 1e-7, 1e-6], logy=True, height=3)
+        assert "1e-08" in out or "1e-06" in out
+
+    def test_constant_series(self):
+        out = line_chart([1, 2], [5.0, 5.0], height=3)
+        chart_rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        assert sum(r.count("o") for r in chart_rows) == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            line_chart([1], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            line_chart([], [])
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        la, lb = out.splitlines()
+        assert lb.count("#") == 10
+        assert la.count("#") == 5
+
+    def test_reference_marks(self):
+        out = bar_chart(["a"], [0.5], reference=[1.0], width=10)
+        assert "+" in out
+
+    def test_unit_suffix(self):
+        out = bar_chart(["x"], [3.0], unit="ms")
+        assert "3 ms" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        out = bar_chart(["a"], [0.0])
+        assert "|" in out

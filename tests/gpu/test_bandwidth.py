@@ -1,0 +1,102 @@
+"""Tests for the achieved-bandwidth models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.bandwidth import (
+    STREAM_FRACTION,
+    achieved_bandwidth,
+    grid_efficiency,
+    kernel_time,
+    log2ceil,
+    memcpy_time,
+    stream_efficiency,
+)
+from repro.gpu.specs import MI250X_GCD, MI300X
+
+
+class TestStreamEfficiency:
+    def test_bounded_by_stream_fraction(self):
+        for b in (1e3, 1e6, 1e9, 1e12):
+            assert 0 < stream_efficiency(b, MI300X) <= STREAM_FRACTION
+
+    def test_monotone_in_bytes(self):
+        effs = [stream_efficiency(b, MI300X) for b in (1e4, 1e6, 1e8, 1e10)]
+        assert effs == sorted(effs)
+
+    def test_large_transfers_approach_saturation(self):
+        assert stream_efficiency(1e11, MI300X) > 0.99 * STREAM_FRACTION
+
+    def test_small_transfers_inefficient(self):
+        assert stream_efficiency(1e4, MI300X) < 0.01
+
+    @given(st.floats(min_value=1.0, max_value=1e13))
+    def test_property_bounds(self, b):
+        e = stream_efficiency(b, MI300X)
+        assert 0.0 < e <= STREAM_FRACTION
+
+
+class TestGridEfficiency:
+    def test_tiny_blocks_penalized(self):
+        total = 1e9
+        small = grid_efficiency(total, blocks=100000, bytes_per_block=512, spec=MI300X)
+        big = grid_efficiency(total, blocks=100, bytes_per_block=512000, spec=MI300X)
+        assert small < big
+
+    def test_monotone_in_block_work(self):
+        effs = [
+            grid_efficiency(1e9, 1000, w, MI300X) for w in (256, 1024, 4096, 65536)
+        ]
+        assert effs == sorted(effs)
+
+    def test_floor_efficiency(self):
+        # even degenerate geometry retains some throughput
+        e = grid_efficiency(1e9, 10**6, 1.0, MI300X)
+        assert e >= 0.08 * stream_efficiency(1e9, MI300X) * 0.99
+
+    def test_never_exceeds_stream(self):
+        assert grid_efficiency(1e9, 10, 1e8, MI300X) <= stream_efficiency(1e9, MI300X)
+
+
+class TestKernelTime:
+    def test_includes_launch_overhead(self):
+        t = kernel_time(0.0, MI300X, 0.5)
+        assert t == pytest.approx(MI300X.launch_overhead)
+
+    def test_scales_with_bytes(self):
+        t1 = kernel_time(1e9, MI300X, 0.8)
+        t2 = kernel_time(2e9, MI300X, 0.8)
+        assert t2 > t1
+        assert (t2 - MI300X.launch_overhead) == pytest.approx(
+            2 * (t1 - MI300X.launch_overhead)
+        )
+
+    def test_faster_gpu_is_faster(self):
+        assert kernel_time(1e9, MI300X, 0.7) < kernel_time(1e9, MI250X_GCD, 0.7)
+
+    def test_efficiency_clamped(self):
+        # absurd efficiencies are clamped rather than extrapolated
+        assert kernel_time(1e9, MI300X, 5.0) >= 1e9 / MI300X.peak_bandwidth
+
+
+class TestAchievedBandwidth:
+    def test_fraction_of_peak(self):
+        assert achieved_bandwidth(1e9, MI300X, 0.5) == pytest.approx(
+            0.5 * MI300X.peak_bandwidth
+        )
+
+
+def test_memcpy_counts_read_and_write():
+    # d2d copies move 2x the payload; time exceeds one-way streaming
+    one_way = 1e9 / (STREAM_FRACTION * MI300X.peak_bandwidth)
+    assert memcpy_time(1e9, MI300X) > one_way
+
+
+class TestLog2Ceil:
+    @pytest.mark.parametrize("n,expect", [(1, 0), (2, 1), (3, 2), (4, 2), (1000, 10)])
+    def test_values(self, n, expect):
+        assert log2ceil(n) == expect
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            log2ceil(0)

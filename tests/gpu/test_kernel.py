@@ -1,0 +1,70 @@
+"""Tests for kernel-launch descriptors and geometry validation."""
+
+import pytest
+
+from repro.gpu.kernel import Dim3, KernelLaunch, LaunchConfigError
+from repro.gpu.specs import MI300X
+
+
+class TestDim3:
+    def test_defaults(self):
+        d = Dim3()
+        assert d.as_tuple() == (1, 1, 1)
+        assert d.total == 1
+
+    def test_total(self):
+        assert Dim3(x=4, y=2, z=3).total == 24
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_invalid_components(self, bad):
+        with pytest.raises(LaunchConfigError):
+            Dim3(x=bad)
+
+
+class TestLaunchValidation:
+    def _kernel(self, grid, block=Dim3(x=256)):
+        return KernelLaunch(name="k", grid=grid, block=block)
+
+    def test_valid_launch(self):
+        self._kernel(Dim3(x=1000, z=1001)).validate(MI300X)
+
+    def test_grid_y_overflow(self):
+        # the y/z 65535 cap that the paper's custom permutation kernel
+        # is specifically designed to avoid overflowing
+        with pytest.raises(LaunchConfigError, match="exceeds"):
+            self._kernel(Dim3(x=1, y=70000)).validate(MI300X)
+
+    def test_grid_z_overflow(self):
+        with pytest.raises(LaunchConfigError):
+            self._kernel(Dim3(x=1, z=65536)).validate(MI300X)
+
+    def test_grid_x_large_ok(self):
+        self._kernel(Dim3(x=2**20)).validate(MI300X)
+
+    def test_too_many_threads(self):
+        with pytest.raises(LaunchConfigError, match="threads"):
+            self._kernel(Dim3(x=1), block=Dim3(x=2048)).validate(MI300X)
+
+    def test_non_wavefront_multiple_block(self):
+        with pytest.raises(LaunchConfigError, match="wavefront"):
+            self._kernel(Dim3(x=1), block=Dim3(x=96)).validate(MI300X)
+
+    def test_small_blocks_allowed(self):
+        # blocks under one wavefront are fine (tail kernels)
+        self._kernel(Dim3(x=1), block=Dim3(x=32)).validate(MI300X)
+
+    def test_2d_block_wavefront_total(self):
+        self._kernel(Dim3(x=1), block=Dim3(x=64, y=4)).validate(MI300X)
+
+
+class TestTrafficAccounting:
+    def test_bytes_moved(self):
+        k = KernelLaunch(
+            name="k", grid=Dim3(x=1), block=Dim3(x=64),
+            bytes_read=100.0, bytes_written=50.0,
+        )
+        assert k.bytes_moved == 150.0
+
+    def test_blocks(self):
+        k = KernelLaunch(name="k", grid=Dim3(x=10, z=5), block=Dim3(x=64))
+        assert k.blocks == 50

@@ -1,0 +1,70 @@
+"""Property-based tests of the hipify translator."""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hip.hipify import hipify_perl
+from repro.hip.mappings import CUDA_TO_HIP, UNSUPPORTED_CUDA
+
+_MAPPED = sorted(CUDA_TO_HIP)
+
+# fragments a CUDA source line might contain around the API calls
+_FILLERS = st.sampled_from(
+    ["int x = 0;", "// comment", "    ", "double* ptr;", "{", "}",
+     "for (int i = 0; i < n; ++i)", "#define N 128", "return err;"]
+)
+_CALLS = st.sampled_from(_MAPPED).map(lambda f: f"{f}(a, b, c);")
+_LINES = st.lists(st.one_of(_FILLERS, _CALLS), min_size=1, max_size=40)
+
+
+class TestTranslationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_LINES)
+    def test_no_mapped_cuda_identifier_survives(self, lines):
+        src = "\n".join(lines)
+        out = hipify_perl(src).source
+        for ident in re.findall(r"\b[A-Za-z_]\w+\b", out):
+            assert ident not in CUDA_TO_HIP or ident.startswith("nccl"), ident
+
+    @settings(max_examples=60, deadline=None)
+    @given(_LINES)
+    def test_idempotent(self, lines):
+        src = "\n".join(lines)
+        once = hipify_perl(src).source
+        assert hipify_perl(once).source == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(_LINES)
+    def test_line_count_preserved(self, lines):
+        src = "\n".join(lines)
+        out = hipify_perl(src).source
+        assert len(out.splitlines()) == len(src.splitlines())
+
+    @settings(max_examples=60, deadline=None)
+    @given(_LINES)
+    def test_replacement_count_matches_call_count(self, lines):
+        src = "\n".join(lines)
+        n_calls = sum(
+            1 for ln in lines if ln.rstrip().endswith("(a, b, c);")
+        )
+        stats = hipify_perl(src).stats
+        assert stats.total == n_calls
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(sorted(UNSUPPORTED_CUDA)), min_size=1,
+                    max_size=4))
+    def test_unsupported_always_detected(self, idents):
+        src = "\n".join(f"{i}(x);" for i in idents)
+        result = hipify_perl(src, strict=False)
+        assert len(result.warnings) == len(idents)
+        for i in idents:
+            assert i in result.source  # left untouched in non-strict mode
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)),
+                   max_size=300))
+    def test_arbitrary_text_never_crashes(self, text):
+        result = hipify_perl(text, strict=False)
+        assert isinstance(result.source, str)

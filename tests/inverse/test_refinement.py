@@ -1,0 +1,78 @@
+"""Tests for mixed-precision iterative refinement."""
+
+import numpy as np
+import pytest
+
+from repro.inverse.bayes import LinearBayesianProblem
+from repro.inverse.lti import HeatEquation1D
+from repro.inverse.mesh import Grid1D
+from repro.inverse.observation import ObservationOperator
+from repro.inverse.p2o import P2OMap
+from repro.inverse.prior import GaussianPrior
+from repro.inverse.refinement import solve_map_with_refinement
+from repro.util.validation import ReproError
+
+from tests.conftest import rel_err
+
+
+@pytest.fixture(scope="module")
+def problem():
+    grid = Grid1D(12)
+    system = HeatEquation1D(grid, dt=0.05, kappa=0.25)
+    obs = ObservationOperator(grid.n, [3, 8])
+    p2o = P2OMap(system, obs, nt=8)
+    prior = GaussianPrior(12, 8, gamma=1e-2, delta=4.0)
+    return LinearBayesianProblem(p2o, prior, noise_std=0.05)
+
+
+class TestRefinement:
+    def test_reaches_double_accuracy_with_mixed_inner(self, problem, rng):
+        d = rng.standard_normal((8, 2))
+        res = solve_map_with_refinement(problem, d, inner_config="dssdd", tol=1e-10)
+        assert res.converged
+        assert res.final_relative_residual <= 1e-10
+
+    def test_matches_full_double_solve(self, problem, rng):
+        d = rng.standard_normal((8, 2))
+        refined = solve_map_with_refinement(problem, d, inner_config="dssdd", tol=1e-11)
+        direct = problem.solve_map(d, config="ddddd", tol=1e-12, maxiter=800)
+        assert rel_err(refined.m_map, direct.m_map) < 1e-8
+
+    def test_beats_naive_mixed_solve_accuracy(self, problem, rng):
+        # CG run *entirely* in mixed precision stalls above the matvec
+        # error floor; refinement punches through it
+        d = rng.standard_normal((8, 2))
+        naive = problem.solve_map(d, config="sssss", tol=1e-12, maxiter=400)
+        refined = solve_map_with_refinement(
+            problem, d, inner_config="sssss", tol=1e-10
+        )
+        b = problem.rhs(d, config="ddddd")
+        r_naive = np.linalg.norm(
+            b - problem.hessian_action(naive.m_map, config="ddddd")
+        ) / np.linalg.norm(b)
+        assert refined.final_relative_residual < r_naive
+
+    def test_residuals_decrease(self, problem, rng):
+        d = rng.standard_normal((8, 2))
+        res = solve_map_with_refinement(problem, d, tol=1e-10)
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+    def test_inner_iterations_counted(self, problem, rng):
+        d = rng.standard_normal((8, 2))
+        res = solve_map_with_refinement(problem, d, tol=1e-9)
+        assert res.inner_iterations_total > 0
+        assert res.outer_iterations >= 1
+
+    def test_zero_data(self, problem):
+        res = solve_map_with_refinement(problem, np.zeros((8, 2)))
+        assert res.converged
+        assert np.all(res.m_map == 0)
+
+    def test_invalid_inner_tol(self, problem, rng):
+        with pytest.raises(ReproError):
+            solve_map_with_refinement(problem, np.zeros((8, 2)), inner_tol=2.0)
+
+    def test_records_inner_config(self, problem, rng):
+        d = rng.standard_normal((8, 2))
+        res = solve_map_with_refinement(problem, d, inner_config="ddssd")
+        assert res.inner_config == "ddssd"

@@ -1,0 +1,124 @@
+"""Tests for the phase-cost model, including engine consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core.matvec import FFTMatvec
+from repro.core.precision import PrecisionConfig
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.specs import MI250X_GCD, MI300X, MI355X
+from repro.perf.phase_model import fft_traffic_bytes, modeled_timing, phase_times
+from repro.util.dtypes import Precision
+
+
+class TestEngineConsistency:
+    """The model must reproduce what the engine actually charges."""
+
+    @pytest.mark.parametrize("cfg", ["ddddd", "dssdd", "sssss", "dsdsd"])
+    @pytest.mark.parametrize("adjoint", [False, True])
+    def test_model_matches_engine_charges(self, cfg, adjoint):
+        nt, nd, nm = 64, 8, 96
+        rng = np.random.default_rng(0)
+        dev = SimulatedDevice(MI300X)
+        eng = FFTMatvec(
+            BlockTriangularToeplitz.random(nt, nd, nm, rng=rng), device=dev
+        )
+        v = rng.standard_normal((nt, nd if adjoint else nm))
+        (eng.rmatvec if adjoint else eng.matvec)(v, config=cfg)
+        charged = eng.last_timing.phases
+        modeled = phase_times(nm, nd, nt, cfg, MI300X, adjoint=adjoint)
+        for phase, t in charged.items():
+            assert modeled[phase] == pytest.approx(t, rel=1e-6), (phase, cfg)
+
+    def test_model_matches_other_architecture(self):
+        nt, nd, nm = 32, 4, 48
+        rng = np.random.default_rng(1)
+        dev = SimulatedDevice(MI250X_GCD)
+        eng = FFTMatvec(
+            BlockTriangularToeplitz.random(nt, nd, nm, rng=rng), device=dev
+        )
+        eng.matvec(rng.standard_normal((nt, nm)), config="dssdd")
+        modeled = phase_times(nm, nd, nt, "dssdd", MI250X_GCD)
+        for phase, t in eng.last_timing.phases.items():
+            assert modeled[phase] == pytest.approx(t, rel=1e-6)
+
+
+class TestPaperScaleFacts:
+    """Figure 2/3 shape facts at Nm=5000, Nd=100, Nt=1000."""
+
+    def test_sbgemv_dominates(self):
+        for spec in (MI250X_GCD, MI300X, MI355X):
+            for adjoint in (False, True):
+                rep = modeled_timing(5000, 100, 1000, "ddddd", spec, adjoint=adjoint)
+                assert rep.fraction("sbgemv") > 0.90
+
+    def test_total_time_trend_follows_bandwidth(self):
+        # Figure 2: MI250X slowest, MI355X fastest
+        ts = [
+            modeled_timing(5000, 100, 1000, "ddddd", spec).total
+            for spec in (MI250X_GCD, MI300X, MI355X)
+        ]
+        assert ts[0] > ts[1] > ts[2]
+
+    def test_mi250x_total_near_paper(self):
+        # paper Figure 2 shows ~7-8 ms for the F matvec on one GCD
+        t = modeled_timing(5000, 100, 1000, "ddddd", MI250X_GCD).total
+        assert 5e-3 < t < 10e-3
+
+    def test_mixed_speedups_match_paper_ranges(self):
+        # Figure 3: 70-95% on CDNA2/3, ~40% on CDNA4 (we accept 25-60)
+        for spec, lo, hi in (
+            (MI250X_GCD, 1.70, 1.95),
+            (MI300X, 1.70, 1.95),
+            (MI355X, 1.25, 1.60),
+        ):
+            base = modeled_timing(5000, 100, 1000, "ddddd", spec).total
+            mixed = modeled_timing(5000, 100, 1000, "dssdd", spec).total
+            assert lo < base / mixed < hi, spec.name
+
+    def test_adjoint_slower_on_mi300x(self):
+        # Section 4.1.2: F* slightly slower than F on MI300X even with
+        # the optimized kernel
+        f = modeled_timing(5000, 100, 1000, "ddddd", MI300X).total
+        fstar = modeled_timing(5000, 100, 1000, "ddddd", MI300X, adjoint=True).total
+        assert f < fstar < 1.5 * f
+
+    def test_unoptimized_adjoint_much_slower(self):
+        # the pre-fix behaviour the paper's profiling uncovered
+        opt = modeled_timing(5000, 100, 1000, "ddddd", MI300X, adjoint=True).total
+        base = modeled_timing(
+            5000, 100, 1000, "ddddd", MI300X, adjoint=True, use_optimized_sbgemv=False
+        ).total
+        assert base > 1.4 * opt
+
+    def test_forward_unaffected_by_kernel_flag(self):
+        a = modeled_timing(5000, 100, 1000, "ddddd", MI300X).total
+        b = modeled_timing(
+            5000, 100, 1000, "ddddd", MI300X, use_optimized_sbgemv=False
+        ).total
+        assert a == pytest.approx(b)
+
+    def test_fft_of_m_vs_ifft_of_d(self):
+        # F direction: forward FFT batches Nm (big), inverse batches Nd
+        times = phase_times(5000, 100, 1000, "ddddd", MI300X)
+        assert times["fft"] > times["ifft"]
+        times_adj = phase_times(5000, 100, 1000, "ddddd", MI300X, adjoint=True)
+        assert times_adj["ifft"] > times_adj["fft"]
+
+
+class TestFFTTraffic:
+    def test_single_half_of_double(self):
+        d = fft_traffic_bytes(2048, 100, Precision.DOUBLE, forward=True)
+        s = fft_traffic_bytes(2048, 100, Precision.SINGLE, forward=True)
+        assert s == pytest.approx(d / 2)
+
+    def test_forward_equals_inverse(self):
+        f = fft_traffic_bytes(1024, 10, Precision.DOUBLE, forward=True)
+        i = fft_traffic_bytes(1024, 10, Precision.DOUBLE, forward=False)
+        assert f == pytest.approx(i)
+
+    def test_scales_with_batch(self):
+        one = fft_traffic_bytes(512, 1, Precision.DOUBLE, forward=True)
+        ten = fft_traffic_bytes(512, 10, Precision.DOUBLE, forward=True)
+        assert ten == pytest.approx(10 * one)

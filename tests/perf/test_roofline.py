@@ -1,0 +1,57 @@
+"""Tests for the roofline utilities (memory-bound justification)."""
+
+import pytest
+
+from repro.gpu.specs import MI250X_GCD, MI300X, MI355X
+from repro.perf.roofline import (
+    arithmetic_intensity,
+    fft_intensity,
+    is_memory_bound,
+    machine_balance,
+    roofline_time,
+    sbgemv_intensity,
+)
+from repro.util.dtypes import Precision
+
+
+class TestIntensity:
+    def test_basic(self):
+        assert arithmetic_intensity(100.0, 50.0) == 2.0
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_intensity(1.0, 0.0)
+
+    def test_sbgemv_is_low_intensity(self):
+        # complex double GEMV: 8 flops per 16 bytes = 0.5 flops/byte
+        i = sbgemv_intensity(100, 5000, 16, is_complex=True)
+        assert i == pytest.approx(0.5)
+
+    def test_fft_intensity_moderate(self):
+        i = fft_intensity(2000, 16)
+        assert 0.5 < i < 10
+
+
+class TestMemoryBound:
+    @pytest.mark.parametrize("spec", [MI250X_GCD, MI300X, MI355X])
+    def test_every_fftmatvec_phase_memory_bound(self, spec):
+        # the paper's Section 4.1.2 claim, checkable per architecture
+        sbgemv = sbgemv_intensity(100, 5000, 16, is_complex=True)
+        fft = fft_intensity(2000, 16)
+        for prec in (Precision.DOUBLE, Precision.SINGLE):
+            assert is_memory_bound(sbgemv, spec, prec)
+            assert is_memory_bound(fft, spec, prec)
+
+    def test_machine_balance_positive(self):
+        assert machine_balance(MI300X, Precision.DOUBLE) > 1.0
+
+
+class TestRooflineTime:
+    def test_memory_bound_time(self):
+        # low intensity: time = bytes / bandwidth
+        t = roofline_time(1.0, 1e9, MI300X, Precision.DOUBLE)
+        assert t == pytest.approx(1e9 / MI300X.peak_bandwidth)
+
+    def test_compute_bound_time(self):
+        t = roofline_time(1e15, 1.0, MI300X, Precision.DOUBLE)
+        assert t == pytest.approx(1e15 / MI300X.peak_flops[Precision.DOUBLE])

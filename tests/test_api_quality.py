@@ -1,0 +1,63 @@
+"""API-quality gates: documentation and export hygiene.
+
+Deliverable (e) requires doc comments on every public item; these tests
+enforce it mechanically so the guarantee survives future edits:
+
+* every public module has a module docstring;
+* every name in a package/module ``__all__`` resolves and is documented;
+* every public class's public methods are documented.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    m.name
+    for m in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not m.name.rpartition(".")[2].startswith("_")
+)
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_module_docstring(modname):
+    mod = importlib.import_module(modname)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{modname} lacks a docstring"
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_all_exports_resolve_and_are_documented(modname):
+    mod = importlib.import_module(modname)
+    exported = getattr(mod, "__all__", [])
+    for name in exported:
+        assert hasattr(mod, name), f"{modname}.__all__ lists missing {name!r}"
+        obj = getattr(mod, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert inspect.getdoc(obj), f"{modname}.{name} is undocumented"
+
+
+@pytest.mark.parametrize("modname", MODULES)
+def test_public_methods_documented(modname):
+    mod = importlib.import_module(modname)
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name, None)
+        if not inspect.isclass(obj) or obj.__module__ != modname:
+            continue
+        for mname, method in vars(obj).items():
+            if mname.startswith("_") or not callable(method):
+                continue
+            if isinstance(method, (staticmethod, classmethod)):
+                method = method.__func__
+            assert inspect.getdoc(method), (
+                f"{modname}.{name}.{mname} is undocumented"
+            )
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,54 @@
+"""Tests for table rendering and formatting helpers."""
+
+import pytest
+
+from repro.util.tables import format_bandwidth, format_seconds, format_si, render_table
+
+
+class TestFormatSI:
+    def test_terabytes(self):
+        assert format_si(5.3e12, "B/s") == "5.3 TB/s"
+
+    def test_zero(self):
+        assert format_si(0, "B") == "0 B"
+
+    def test_small(self):
+        assert format_si(12.0) == "12"
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expect",
+        [(2.0, "2.000 s"), (3.5e-3, "3.500 ms"), (4.2e-6, "4.200 us"), (5e-9, "5.0 ns")],
+    )
+    def test_scales(self, value, expect):
+        assert format_seconds(value) == expect
+
+
+def test_format_bandwidth():
+    assert format_bandwidth(123.4e9) == "123.4 GB/s"
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(["name", "val"], [["a", 1], ["bb", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"|", "-"}
+        assert len(lines) == 5
+
+    def test_alignment(self):
+        out = render_table(["n", "v"], [["a", 1], ["long", 22]])
+        rows = out.splitlines()[2:]
+        # numbers right-aligned: "1" ends at same column as "22"
+        assert rows[0].rstrip().endswith("|")
+        assert rows[0].index("1 |") >= rows[1].index("22") - 1
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        out = render_table(["h"], [["x"]])
+        assert out.splitlines()[0].startswith("|")
