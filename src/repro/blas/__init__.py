@@ -23,12 +23,18 @@ benchmarking results", and :mod:`repro.blas.bench` is the
 the paper's artifact.
 """
 
-from repro.blas.types import Operation, BlasDatatype, GemvProblem
+from repro.blas.types import Operation, BlasDatatype, GemvProblem, GemmProblem
 from repro.blas.gemv_kernels import (
     RocblasSBGEMV,
     OptimizedSBGEMV,
     SBGEMVKernel,
     gemv_strided_batched_reference,
+)
+from repro.blas.gemm_kernels import (
+    RocblasSBGEMM,
+    OptimizedSBGEMM,
+    SBGEMMKernel,
+    gemm_strided_batched_reference,
 )
 from repro.blas.dispatch import SBGEMVDispatcher
 from repro.blas.bench import RocblasBench, BenchResult, parse_bench_yaml
@@ -37,10 +43,15 @@ __all__ = [
     "Operation",
     "BlasDatatype",
     "GemvProblem",
+    "GemmProblem",
     "RocblasSBGEMV",
     "OptimizedSBGEMV",
     "SBGEMVKernel",
     "gemv_strided_batched_reference",
+    "RocblasSBGEMM",
+    "OptimizedSBGEMM",
+    "SBGEMMKernel",
+    "gemm_strided_batched_reference",
     "SBGEMVDispatcher",
     "RocblasBench",
     "BenchResult",

@@ -10,7 +10,7 @@ import numpy as np
 from repro.util.dtypes import Precision
 from repro.util.validation import ReproError, check_positive_int
 
-__all__ = ["Operation", "BlasDatatype", "GemvProblem"]
+__all__ = ["Operation", "BlasDatatype", "GemvProblem", "GemmProblem"]
 
 
 class Operation(enum.Enum):
@@ -173,4 +173,88 @@ class GemvProblem:
         return (
             f"{self.datatype.function_name}[{self.operation.value}] "
             f"{self.m}x{self.n} batch={self.batch}"
+        )
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """One strided-batched multi-RHS GEMM problem: ``C_i = op(A_i) @ B_i``.
+
+    ``m``/``n`` are the dimensions of each (untransposed) matrix ``A_i``
+    and ``k`` is the number of right-hand-side columns; FFTMatvec's
+    blocked Phase 3 uses ``m = Nd``, ``n = local Nm``, ``k`` = block
+    width and batch ``Nt + 1``.  With ``k = 1`` this degenerates to the
+    :class:`GemvProblem` the SBGEMV kernels handle.
+    """
+
+    m: int
+    n: int
+    k: int
+    batch: int
+    datatype: BlasDatatype
+    operation: Operation
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.m, "m")
+        check_positive_int(self.n, "n")
+        check_positive_int(self.k, "k")
+        check_positive_int(self.batch, "batch")
+        if self.operation is Operation.C and not self.datatype.is_complex:
+            raise ReproError(
+                "conjugate transpose is only meaningful for complex datatypes;"
+                " use Operation.T for real"
+            )
+
+    @property
+    def out_rows(self) -> int:
+        """Rows of each output panel C_i (= rows of op(A_i))."""
+        return self.n if self.operation.is_transposed else self.m
+
+    @property
+    def in_rows(self) -> int:
+        """Rows of each input panel B_i (= cols of op(A_i))."""
+        return self.m if self.operation.is_transposed else self.n
+
+    @property
+    def matrix_bytes(self) -> int:
+        """Bytes of all batched matrices — read once, not once per RHS."""
+        return self.m * self.n * self.batch * self.datatype.itemsize
+
+    @property
+    def panel_bytes(self) -> int:
+        """Bytes of all input+output RHS panels."""
+        return (self.in_rows + self.out_rows) * self.k * self.batch * self.datatype.itemsize
+
+    @property
+    def total_bytes(self) -> int:
+        """Total HBM traffic of one well-behaved execution."""
+        return self.matrix_bytes + self.panel_bytes
+
+    @property
+    def looped_gemv_bytes(self) -> int:
+        """Traffic ``k`` separate GEMV calls would generate (matrix re-read
+        per RHS) — the quantity the blocked path saves."""
+        return self.k * self.as_gemv().total_bytes
+
+    @property
+    def is_short_wide(self) -> bool:
+        """True when each matrix is short and wide (m < n)."""
+        return self.m < self.n
+
+    def as_gemv(self) -> GemvProblem:
+        """The single-RHS GEMV problem with the same matrix and operation."""
+        return GemvProblem(
+            m=self.m,
+            n=self.n,
+            batch=self.batch,
+            datatype=self.datatype,
+            operation=self.operation,
+        )
+
+    def describe(self) -> str:
+        """Human-readable problem summary for error messages and logs."""
+        return (
+            f"rocblas_{self.datatype.value}gemm_strided_batched"
+            f"[{self.operation.value}] {self.m}x{self.n} k={self.k} "
+            f"batch={self.batch}"
         )

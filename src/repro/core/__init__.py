@@ -20,6 +20,14 @@
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.core.precision import PrecisionConfig, PHASE_NAMES
 from repro.core.matvec import FFTMatvec
+from repro.core.operator import (
+    LinearOperator,
+    IdentityOperator,
+    CallableOperator,
+    ForwardOperator,
+    AdjointOperator,
+    GaussNewtonHessian,
+)
 from repro.core.parallel import ParallelFFTMatvec
 from repro.core.error_model import relative_error_bound, ErrorModelParams
 from repro.core.pareto import ParetoPoint, pareto_front, sweep_configs, optimal_config
@@ -29,6 +37,12 @@ __all__ = [
     "PrecisionConfig",
     "PHASE_NAMES",
     "FFTMatvec",
+    "LinearOperator",
+    "IdentityOperator",
+    "CallableOperator",
+    "ForwardOperator",
+    "AdjointOperator",
+    "GaussNewtonHessian",
     "ParallelFFTMatvec",
     "relative_error_bound",
     "ErrorModelParams",

@@ -28,8 +28,13 @@ from repro.inverse.lti import HeatEquation1D, AdvectionDiffusion1D, LTISystem
 from repro.inverse.observation import ObservationOperator
 from repro.inverse.p2o import P2OMap, build_p2o_blocks
 from repro.inverse.prior import GaussianPrior
-from repro.inverse.cg import conjugate_gradient, CGResult
-from repro.inverse.bayes import LinearBayesianProblem, MAPResult
+from repro.inverse.cg import (
+    conjugate_gradient,
+    CGResult,
+    block_conjugate_gradient,
+    BlockCGResult,
+)
+from repro.inverse.bayes import LinearBayesianProblem, MAPResult, BlockMAPResult
 from repro.inverse.oed import greedy_sensor_placement, expected_information_gain
 from repro.inverse.posterior import LowRankPosterior, randomized_eig
 
@@ -45,8 +50,11 @@ __all__ = [
     "GaussianPrior",
     "conjugate_gradient",
     "CGResult",
+    "block_conjugate_gradient",
+    "BlockCGResult",
     "LinearBayesianProblem",
     "MAPResult",
+    "BlockMAPResult",
     "greedy_sensor_placement",
     "expected_information_gain",
     "LowRankPosterior",

@@ -1,9 +1,18 @@
-"""Matrix-free conjugate gradient.
+"""Matrix-free conjugate gradient, vector and blocked multi-RHS forms.
 
 Used to solve the MAP system ``H m = rhs`` with Hessian actions composed
 of FFTMatvec F/F* applications — the "traditional" solution strategy the
 paper references ([14]).  Operands are (nt, n) block vectors; the solver
 only needs an inner product and an operator callback.
+
+:func:`block_conjugate_gradient` solves ``k`` right-hand sides at once.
+The per-column recurrences are the classic CG recurrences, kept
+*independent* (no cross-column coupling), so column ``j`` of the block
+solve reproduces a vector CG solve of column ``j`` — but every operator
+action is one blocked application (e.g. a Gauss-Newton Hessian built on
+``FFTMatvec.matmat``), so the k solves share each pipeline pass instead
+of re-paying pad/FFT-plan/reorder overhead per vector.  Columns freeze
+once converged; the solve runs until all columns converge or ``maxiter``.
 """
 
 from __future__ import annotations
@@ -15,7 +24,12 @@ import numpy as np
 
 from repro.util.validation import ReproError
 
-__all__ = ["CGResult", "conjugate_gradient"]
+__all__ = [
+    "CGResult",
+    "conjugate_gradient",
+    "BlockCGResult",
+    "block_conjugate_gradient",
+]
 
 
 @dataclass
@@ -87,3 +101,112 @@ def conjugate_gradient(
         rs = rs_new
 
     return CGResult(x=x, converged=False, iterations=maxiter, residual_norms=norms)
+
+
+@dataclass
+class BlockCGResult:
+    """Outcome of a blocked multi-RHS CG solve."""
+
+    X: np.ndarray
+    converged: np.ndarray  # (k,) bool, per column
+    iterations: int
+    residual_norms: List[np.ndarray] = field(default_factory=list)  # (k,) per iter
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(np.all(self.converged))
+
+    @property
+    def final_residuals(self) -> np.ndarray:
+        if not self.residual_norms:
+            return np.full(self.converged.shape, np.nan)
+        return self.residual_norms[-1]
+
+
+def _col_dots(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-column inner products over all leading axes: (..., k) -> (k,)."""
+    return np.sum(a * b, axis=tuple(range(a.ndim - 1)))
+
+
+def block_conjugate_gradient(
+    operator: Callable[[np.ndarray], np.ndarray],
+    rhs: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    maxiter: int = 500,
+    callback: Optional[Callable[[int, np.ndarray], None]] = None,
+) -> BlockCGResult:
+    """Solve ``operator(X) = RHS`` column-wise for an SPD block operator.
+
+    ``rhs`` is ``(..., k)`` (typically ``(nt, n, k)``) and ``operator``
+    maps blocks of that shape to blocks of the same shape — pass e.g.
+    ``GaussNewtonHessian(...).apply_block`` so each iteration costs one
+    blocked pipeline pass for all k systems.  Column ``j`` converges when
+    ``||r_j|| <= tol * ||rhs_j||`` and is frozen from then on, so its
+    iterate matches what :func:`conjugate_gradient` would return for the
+    same column (up to rounding).  Raises on non-positive curvature in
+    any active column, as the vector solver does.
+    """
+    B = np.asarray(rhs, dtype=np.float64)
+    if B.ndim < 2:
+        raise ReproError(
+            f"block CG needs a (..., k) multi-RHS array, got shape {B.shape}"
+        )
+    k = B.shape[-1]
+    X = np.zeros_like(B) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if X.shape != B.shape:
+        raise ReproError(f"x0 shape {X.shape} != rhs shape {B.shape}")
+
+    R = B - operator(X)
+    bnorm = np.sqrt(_col_dots(B, B))
+    # Zero RHS columns are solved by zeros immediately; reset their
+    # iterate AND residual so a nonzero x0 cannot leak a stale residual
+    # norm into the report for a column whose true residual is 0.
+    zero_rhs = bnorm == 0.0
+    X[..., zero_rhs] = 0.0
+    R[..., zero_rhs] = 0.0
+    P = R.copy()
+    rs = _col_dots(R, R)
+
+    norms = [np.sqrt(rs)]
+    converged = zero_rhs | (norms[0] <= tol * bnorm)
+    if np.all(converged):
+        return BlockCGResult(
+            X=X, converged=converged, iterations=0, residual_norms=norms
+        )
+    P[..., converged] = 0.0
+
+    for it in range(1, maxiter + 1):
+        # Frozen columns keep a zero search direction, so the shared
+        # operator action does no stale work on their behalf.
+        active = ~converged
+        AP = operator(P)
+        curvature = _col_dots(P, AP)
+        if np.any(curvature[active] <= 0.0):
+            bad = float(np.min(curvature[active]))
+            raise ReproError(
+                f"block CG detected non-positive curvature {bad:g} at iter "
+                f"{it}; the operator is not SPD"
+            )
+        alpha = np.where(active, rs / np.where(active, curvature, 1.0), 0.0)
+        X = X + alpha * P
+        R = R - alpha * AP
+        rs_new = _col_dots(R, R)
+        norms.append(np.where(active, np.sqrt(rs_new), norms[-1]))
+        if callback is not None:
+            callback(it, norms[-1])
+        newly_done = active & (norms[-1] <= tol * bnorm)
+        converged = converged | newly_done
+        if np.all(converged):
+            return BlockCGResult(
+                X=X, converged=converged, iterations=it, residual_norms=norms
+            )
+        beta = np.where(
+            ~converged, rs_new / np.where(rs > 0, rs, 1.0), 0.0
+        )
+        P = np.where(~converged, R + beta * P, 0.0)
+        rs = rs_new
+
+    return BlockCGResult(
+        X=X, converged=converged, iterations=maxiter, residual_norms=norms
+    )

@@ -39,27 +39,42 @@ def randomized_eig(
     oversample: int = 10,
     power_iters: int = 1,
     rng: Optional[np.random.Generator] = None,
+    block_operator=None,
 ):
     """Randomized symmetric eigendecomposition of a PSD operator.
 
     ``operator`` maps (n,) -> (n,); returns (eigenvalues desc, vectors)
     of the best rank-``rank`` approximation (Halko-Martinsson-Tropp with
     optional power iterations for sharper decay separation).
+
+    ``block_operator``, when given, maps an (n, j) matrix to the (n, j)
+    matrix of column-wise operator actions in *one* call; the sketch,
+    power iterations and projection then each cost a single blocked
+    application (FFTMatvec's multi-RHS pipeline) instead of j vector
+    actions.  ``operator`` may be None in that case.
     """
     check_positive_int(n, "n")
     check_positive_int(rank, "rank")
     if rank > n:
         raise ReproError(f"rank {rank} exceeds dimension {n}")
+    if operator is None and block_operator is None:
+        raise ReproError("need operator or block_operator")
     rng = rng if rng is not None else np.random.default_rng(0)
     k = min(n, rank + max(oversample, 0))
 
+    if block_operator is not None:
+        apply_mat = block_operator
+    else:
+        def apply_mat(M: np.ndarray) -> np.ndarray:
+            return np.column_stack([operator(M[:, j]) for j in range(M.shape[1])])
+
     omega = rng.standard_normal((n, k))
-    Y = np.column_stack([operator(omega[:, j]) for j in range(k)])
+    Y = apply_mat(omega)
     for _ in range(max(power_iters, 0)):
         Q, _ = np.linalg.qr(Y)
-        Y = np.column_stack([operator(Q[:, j]) for j in range(k)])
+        Y = apply_mat(Q)
     Q, _ = np.linalg.qr(Y)
-    T = Q.T @ np.column_stack([operator(Q[:, j]) for j in range(k)])
+    T = Q.T @ apply_mat(Q)
     T = 0.5 * (T + T.T)
     lam, S = np.linalg.eigh(T)
     order = np.argsort(lam)[::-1][:rank]
@@ -96,8 +111,16 @@ class LowRankPosterior:
         oversample: int = 10,
         power_iters: int = 1,
         rng: Optional[np.random.Generator] = None,
+        blocked: bool = True,
     ) -> "LowRankPosterior":
-        """Randomized eigendecomposition of Ht with FFT matvec actions."""
+        """Randomized eigendecomposition of Ht with FFT matvec actions.
+
+        With ``blocked`` (the default) every sketch/power/projection
+        stage applies Ht to all probe vectors through *one*
+        ``matmat``/``rmatmat`` pipeline pass; ``blocked=False`` keeps
+        the historical one-vector-at-a-time path (same numbers, k times
+        the pipeline overhead).
+        """
         cfg = PrecisionConfig.parse(config)
         nt, nm = problem.p2o.nt, problem.p2o.nm
         n = nt * nm
@@ -111,9 +134,25 @@ class LowRankPosterior:
             hw = problem.p2o.applyT(fw, config=cfg)
             return problem.prior.apply_sqrt_t(hw).ravel()
 
+        def ht_block_action(M: np.ndarray) -> np.ndarray:
+            j = M.shape[1]
+            counter["n"] += j
+            # Column i of M is the flat (nt, nm) field i, so the (n, j)
+            # matrix *is* the (nt, nm, j) block; prior and p2o actions
+            # are all single blocked calls.
+            W = problem.prior.apply_sqrt_block(M.reshape(nt, nm, j))
+            FW = problem.p2o.apply_block(W, config=cfg) / problem.noise_std**2
+            HW = problem.p2o.applyT_block(FW, config=cfg)
+            return problem.prior.apply_sqrt_t_block(HW).reshape(n, j)
+
         lam, V = randomized_eig(
-            ht_action, n, rank, oversample=oversample,
-            power_iters=power_iters, rng=rng,
+            None if blocked else ht_action,
+            n,
+            rank,
+            oversample=oversample,
+            power_iters=power_iters,
+            rng=rng,
+            block_operator=ht_block_action if blocked else None,
         )
         return cls(
             problem=problem,
@@ -150,19 +189,33 @@ class LowRankPosterior:
             corr += weights[j] * col**2
         return prior_var - corr.reshape(nt, nm)
 
-    def sample(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Draw a zero-mean posterior sample (add the MAP point for the
-        full posterior draw).
+    def sample(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        n_samples: Optional[int] = None,
+    ) -> np.ndarray:
+        """Draw zero-mean posterior samples (add the MAP point for full
+        posterior draws).
 
         Uses the exact low-rank square root:
         Gp^{1/2} (I + V diag(1/sqrt(1+lam) - 1) V^T) z  with z ~ N(0, I).
+
+        With ``n_samples=None`` one (nt, nm) draw is returned (historical
+        behaviour); with ``n_samples=k`` the k draws are generated as one
+        (nt, nm, k) block — the low-rank correction becomes a single
+        matrix-matrix product over all draws.
         """
         rng = rng if rng is not None else np.random.default_rng()
         nt, nm = self.problem.p2o.nt, self.problem.p2o.nm
-        z = rng.standard_normal(nt * nm)
+        single = n_samples is None
+        k = 1 if single else int(n_samples)
+        if k < 1:
+            raise ReproError(f"n_samples must be >= 1, got {n_samples}")
+        Z = rng.standard_normal((nt * nm, k))
         scale = 1.0 / np.sqrt(1.0 + self.eigenvalues) - 1.0
-        z = z + self.eigenvectors @ (scale * (self.eigenvectors.T @ z))
-        return self.problem.prior.apply_sqrt(z.reshape(nt, nm))
+        Z = Z + self.eigenvectors @ (scale[:, None] * (self.eigenvectors.T @ Z))
+        out = self.problem.prior.apply_sqrt_block(Z.reshape(nt, nm, k))
+        return out[:, :, 0] if single else out
 
     def posterior_covariance_action(self, m: np.ndarray) -> np.ndarray:
         """Gamma_post applied to a (nt, nm) field via the low-rank formula."""

@@ -1,0 +1,64 @@
+"""Regression: pytest collection survives pre-populated __pycache__.
+
+The seed tree had benchmarks/test_ablations.py and
+tests/perf/test_ablations.py sharing a basename with no pytest config
+and no test packages; whenever a stale __pycache__ existed, the tier-1
+command died at collection with "import file mismatch".  The fix is the
+root pyproject.toml (testpaths) plus __init__.py files making every
+test module's import name package-qualified.  This test pre-warms the
+bytecode caches exactly the way the failure was triggered and asserts
+collection succeeds.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_duplicate_basenames_still_exist():
+    # The regression only guards something if the collision is present.
+    assert (REPO_ROOT / "benchmarks" / "test_ablations.py").exists()
+    assert (REPO_ROOT / "tests" / "perf" / "test_ablations.py").exists()
+
+
+def test_test_dirs_are_packages():
+    assert (REPO_ROOT / "tests" / "__init__.py").exists()
+    assert (REPO_ROOT / "benchmarks" / "__init__.py").exists()
+    assert (REPO_ROOT / "tests" / "perf" / "__init__.py").exists()
+
+
+def test_collection_with_prewarmed_pycache():
+    # Pre-warm __pycache__ for both colliding modules, then collect.
+    compile_cmd = [
+        sys.executable,
+        "-m",
+        "compileall",
+        "-q",
+        str(REPO_ROOT / "benchmarks"),
+        str(REPO_ROOT / "tests" / "perf"),
+    ]
+    subprocess.run(compile_cmd, check=True, cwd=REPO_ROOT, timeout=120)
+
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "--collect-only",
+            "-q",
+            "benchmarks/test_ablations.py",
+            "tests/perf/test_ablations.py",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"collection failed with pre-warmed __pycache__:\n{result.stdout}\n"
+        f"{result.stderr}"
+    )
+    assert "import file mismatch" not in result.stdout
+    assert "import file mismatch" not in result.stderr
