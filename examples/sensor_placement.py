@@ -42,7 +42,8 @@ for config in ("ddddd", "dssdd"):
     print(f"  selected sites x = {sites} (indices {result.selected})")
     print(f"  EIG after each pick: {[round(g, 4) for g in result.gains]}")
     print(f"  candidate evaluations: {result.evaluations}, "
-          f"FFT matvecs spent: {result.matvec_count}\n")
+          f"FFT matvec actions: {result.matvec_count} "
+          f"(carried by {result.matmat_count} blocked passes)\n")
 
 print("Both precision configurations must select the same sensors: the")
 print("1e-7-level matvec error is far below the information-gain gaps.")

@@ -11,6 +11,12 @@ module reproduces that workflow:
 * :class:`RocblasBench` — runs each configuration against a chosen kernel
   ("build"), timing on the simulated device over ``iters`` repetitions
   after ``cold_iters`` warmups, and reports GB/s and % of peak.
+
+The same workflow covers the blocked multi-RHS path: GEMM entries
+(``rocblas_?gemm_strided_batched`` with a ``K`` column count) run the
+SBGEMM kernel pair, so a Figure-1-style comparison — and the measured
+transition-point calibration in :mod:`repro.blas.calibrate` — can be
+produced for the blocked Phase 3 exactly as for the SBGEMV one.
 """
 
 from __future__ import annotations
@@ -21,15 +27,23 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.blas.gemm_kernels import OptimizedSBGEMM, RocblasSBGEMM, SBGEMMKernel
 from repro.blas.gemv_kernels import OptimizedSBGEMV, RocblasSBGEMV, SBGEMVKernel
-from repro.blas.types import BlasDatatype, GemvProblem, Operation
+from repro.blas.types import BlasDatatype, GemmProblem, GemvProblem, Operation
 from repro.gpu.specs import GPUSpec, MI300X
 from repro.util.tables import render_table
 from repro.util.validation import ReproError
 
-__all__ = ["parse_bench_yaml", "BenchResult", "RocblasBench"]
+__all__ = [
+    "parse_bench_yaml",
+    "BenchResult",
+    "RocblasBench",
+    "make_gemm_bench_yaml",
+    "gemm_problem_from_config",
+]
 
 _FUNC_RE = re.compile(r"rocblas_([sdcz])gemv_strided_batched")
+_GEMM_FUNC_RE = re.compile(r"rocblas_([sdcz])gemm_strided_batched")
 
 
 def _parse_scalar(token: str) -> Union[int, float, str]:
@@ -90,6 +104,58 @@ def problem_from_config(cfg: Dict) -> GemvProblem:
     )
 
 
+def gemm_problem_from_config(cfg: Dict) -> GemmProblem:
+    """Build a GemmProblem from one rocblas-bench GEMM config entry.
+
+    ``K`` is the RHS-panel width of the blocked path (``B_i`` is
+    ``in_rows x K``), following the same conventions as the GEMV
+    entries: ``transA`` applies to ``A``, strides are implied.
+    """
+    func = str(cfg.get("rocblas_function", ""))
+    m = _GEMM_FUNC_RE.fullmatch(func)
+    if not m:
+        raise ReproError(f"unsupported rocblas_function {func!r}")
+    datatype = BlasDatatype.parse(m.group(1))
+    op = Operation.parse(cfg.get("transA", "N"))
+    if op is Operation.C and not datatype.is_complex:
+        op = Operation.T
+    return GemmProblem(
+        m=int(cfg["M"]),
+        n=int(cfg["N"]),
+        k=int(cfg.get("K", 1)),
+        batch=int(cfg.get("batch_count", 1)),
+        datatype=datatype,
+        operation=op,
+    )
+
+
+def make_gemm_bench_yaml(sizes, datatypes, ks) -> str:
+    """Generate a Figure-1-style rocblas-bench YAML config for SBGEMM.
+
+    Mirrors :func:`make_fig1_yaml`'s conventions (``transA`` T/H per
+    datatype, batch 100) with one entry per (datatype, shape, RHS width
+    ``K``) — the sweep the measured SBGEMM calibration fits transition
+    points from.
+    """
+    lines = []
+    for dt in datatypes:
+        dt = BlasDatatype.parse(dt)
+        trans = "H" if dt.is_complex else "T"
+        func = f"rocblas_{dt.value}gemm_strided_batched"
+        for (m, n) in sizes:
+            for k in ks:
+                lines.append(
+                    "- {"
+                    + f"M: {m}, N: {n}, K: {k}, alpha: 1.0, batch_count: 100, "
+                    + f"beta: 0.0, cold_iters: 2, iters: 10, lda: {m}, "
+                    + f"ldb: {m}, ldc: {n}, rocblas_function: {func}, "
+                    + f"stride_a: {m * n}, stride_b: {m * k}, "
+                    + f"stride_c: {n * k}, transA: {trans}"
+                    + "}"
+                )
+    return "\n".join(lines) + "\n"
+
+
 def make_fig1_yaml(sizes, datatypes) -> str:
     """Generate a Figure-1-style rocblas-bench YAML config.
 
@@ -116,18 +182,23 @@ def make_fig1_yaml(sizes, datatypes) -> str:
 
 @dataclass
 class BenchResult:
-    """One rocblas-bench output row."""
+    """One rocblas-bench output row (GEMV or GEMM problem)."""
 
-    problem: GemvProblem
+    problem: Union[GemvProblem, GemmProblem]
     kernel: str
     seconds: float
     gbytes_per_s: float
     pct_of_peak: float
 
+    def _size(self) -> str:
+        k = getattr(self.problem, "k", None)
+        base = f"{self.problem.m}x{self.problem.n}"
+        return base if k is None else f"{base} k={k}"
+
     def row(self) -> List[str]:
         """Cells of this result as one bench-output table row."""
         return [
-            f"{self.problem.m}x{self.problem.n}",
+            self._size(),
             self.problem.datatype.value,
             self.problem.operation.value,
             self.kernel,
@@ -155,6 +226,11 @@ class RocblasBench:
             return OptimizedSBGEMV()
         return RocblasSBGEMV()
 
+    def _gemm_kernel_for(self, problem: GemmProblem) -> SBGEMMKernel:
+        if self.build == "optimized" and problem.operation.is_transposed:
+            return OptimizedSBGEMM()
+        return RocblasSBGEMM()
+
     def run_problem(self, problem: GemvProblem, iters: int = 10) -> BenchResult:
         """Model-run one configuration; returns the averaged result."""
         kernel = self._kernel_for(problem)
@@ -169,12 +245,34 @@ class RocblasBench:
             pct_of_peak=bw / self.spec.peak_bandwidth,
         )
 
+    def run_gemm_problem(self, problem: GemmProblem, iters: int = 10) -> BenchResult:
+        """Model-run one blocked (multi-RHS) configuration."""
+        kernel = self._gemm_kernel_for(problem)
+        t = kernel.modeled_time(problem, self.spec)
+        bw = problem.total_bytes / t
+        return BenchResult(
+            problem=problem,
+            kernel=kernel.name,
+            seconds=t,
+            gbytes_per_s=bw / 1e9,
+            pct_of_peak=bw / self.spec.peak_bandwidth,
+        )
+
     def run_yaml(self, text: str) -> List[BenchResult]:
-        """Run every configuration in a YAML config string."""
-        return [
-            self.run_problem(problem_from_config(cfg), iters=int(cfg.get("iters", 10)))
-            for cfg in parse_bench_yaml(text)
-        ]
+        """Run every configuration in a YAML config string.
+
+        GEMV and GEMM entries may be mixed; each dispatches to the
+        matching kernel pair by its ``rocblas_function``.
+        """
+        out: List[BenchResult] = []
+        for cfg in parse_bench_yaml(text):
+            func = str(cfg.get("rocblas_function", ""))
+            iters = int(cfg.get("iters", 10))
+            if _GEMM_FUNC_RE.fullmatch(func):
+                out.append(self.run_gemm_problem(gemm_problem_from_config(cfg), iters=iters))
+            else:
+                out.append(self.run_problem(problem_from_config(cfg), iters=iters))
+        return out
 
     @staticmethod
     def comparison_table(
@@ -189,7 +287,7 @@ class RocblasBench:
                 raise ReproError("mismatched problems between builds")
             rows.append(
                 [
-                    f"{old.problem.m}x{old.problem.n}",
+                    old._size(),
                     old.problem.datatype.value,
                     old.problem.operation.value,
                     f"{old.gbytes_per_s:.1f}",

@@ -11,6 +11,15 @@ dtype); time is charged to an optional shared :class:`SimClock` using the
 tree cost model.  Subcommunicators (grid rows/columns) carry a ``span``
 describing their placement in the world so the hierarchical network
 model can tell a contiguous row from a machine-spanning column.
+
+Collectives are *payload-shape agnostic*: the blocked multi-RHS grid
+path broadcasts and tree-reduces whole ``(Nt, nx, k)`` blocks in one
+call, so k right-hand sides pay one latency tree (volume scales by k,
+latency does not) and the tree-reduction numerics apply elementwise per
+column — the ``eps * log2(p)`` accumulation term simply rides along for
+every column of the block.  Per-operation call counters
+(``op_counts``) let benchmarks assert the batched path really collapses
+k collectives into one.
 """
 
 from __future__ import annotations
@@ -61,6 +70,14 @@ class SimCommunicator:
         self.name = name
         self.bytes_communicated = 0.0
         self.collective_calls = 0
+        self.op_counts: dict = {
+            "bcast": 0,
+            "reduce": 0,
+            "allreduce": 0,
+            "allgather": 0,
+            "scatter": 0,
+            "barrier": 0,
+        }
 
     # -- helpers -----------------------------------------------------------
     def _check_per_rank(self, arrays: Sequence[np.ndarray], what: str) -> List[np.ndarray]:
@@ -85,6 +102,7 @@ class SimCommunicator:
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
         buf = np.asarray(value)
+        self.op_counts["bcast"] += 1
         self._charge(self.size, buf.nbytes, phase)
         return [buf.copy() for _ in range(self.size)]
 
@@ -105,6 +123,7 @@ class SimCommunicator:
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
         out = tree_reduce_arrays(bufs, precision=precision)
+        self.op_counts["reduce"] += 1
         self._charge(self.size, bufs[0].nbytes, phase)
         return out
 
@@ -117,6 +136,7 @@ class SimCommunicator:
         """Reduce + broadcast; every rank receives the identical sum."""
         bufs = self._check_per_rank(arrays, "allreduce")
         out = tree_reduce_arrays(bufs, precision=precision)
+        self.op_counts["allreduce"] += 1
         # reduce + bcast trees; charge both.
         self._charge(self.size, bufs[0].nbytes, phase)
         self._charge(self.size, bufs[0].nbytes, phase)
@@ -126,6 +146,7 @@ class SimCommunicator:
         """Concatenate per-rank arrays; every rank receives the whole."""
         bufs = self._check_per_rank(arrays, "allgather")
         gathered = np.concatenate([b.ravel() for b in bufs])
+        self.op_counts["allgather"] += 1
         self._charge(self.size, gathered.nbytes, phase)
         return [gathered.copy() for _ in range(self.size)]
 
@@ -134,11 +155,13 @@ class SimCommunicator:
         bufs = self._check_per_rank(chunks, "scatter")
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
+        self.op_counts["scatter"] += 1
         self._charge(self.size, max(b.nbytes for b in bufs), phase)
         return [b.copy() for b in bufs]
 
     def barrier(self, phase: str = "comm") -> None:
         """Synchronize (latency-only collective)."""
+        self.op_counts["barrier"] += 1
         self._charge(self.size, 0.0, phase)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -47,6 +47,7 @@ from repro.core.reorder import soti_to_tosi, tosi_to_soti
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.fft.plan import FFTPlan, FFTType
 from repro.gpu.device import SimulatedDevice
+from repro.util.blocking import check_block
 from repro.util.dtypes import Precision, cast_to, complex_dtype
 from repro.util.timing import TimingReport
 from repro.util.validation import ReproError
@@ -393,21 +394,7 @@ class FFTMatvec:
     # -- blocked multi-RHS API -------------------------------------------------
     def _check_block(self, V: np.ndarray, nx: int, what: str) -> np.ndarray:
         """Validate/reshape a multi-RHS block to (Nt, nx, k)."""
-        a = np.asarray(V)
-        if a.ndim == 2:
-            # scipy-style matmat input: (Nt*nx, k) stacked flat vectors.
-            if a.shape[0] != self.nt * nx:
-                raise ReproError(
-                    f"{what} block matrix must have {self.nt * nx} rows "
-                    f"(= Nt * {nx}), got {a.shape[0]}"
-                )
-            a = a.reshape(self.nt, nx, a.shape[1])
-        if a.ndim != 3 or a.shape[:2] != (self.nt, nx):
-            raise ReproError(
-                f"{what} block must be ({self.nt}, {nx}, k) or "
-                f"({self.nt * nx}, k), got {np.asarray(V).shape}"
-            )
-        return a.astype(np.float64, copy=False)
+        return check_block(V, self.nt, nx, what)
 
     def matmat(
         self,

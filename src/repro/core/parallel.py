@@ -19,6 +19,27 @@ All ranks execute sequentially in-process with genuine per-rank
 numerics.  Compute time is charged once (ranks run concurrently and the
 partition is balanced, so wall time equals one rank's time); collectives
 are charged once per phase through the grid's timed communicators.
+
+Blocked collectives
+-------------------
+:meth:`ParallelFFTMatvec.matmat` / :meth:`~ParallelFFTMatvec.rmatmat`
+move ``k`` right-hand sides through the grid as *blocks*: each chunk of
+at most ``max_block_k`` columns pays **one** column-broadcast and
+**one** row-reduce (per grid column/row) instead of one per vector, so
+the collective count is ``ceil(k / max_block_k)`` rather than ``k``.
+The broadcast payload is the whole ``(Nt, nm_c, k_c)`` parameter block
+in Phase 1's precision — the volume term of the tree cost scales by
+``k_c``, the ``log2`` latency trees are paid once per chunk — and the
+Phase-5 tree-reduce sums ``(Nt, nd_r, k_c)`` partial blocks elementwise,
+so the ``eps5 * log2(pc)`` accumulation term of Eq. 6 applies per column
+exactly as in the vector path.  Per-rank compute routes through
+``FFTMatvec``'s blocked pipeline (one pad / batched FFT / per-frequency
+SBGEMM / IFFT / unpad for the chunk); ``max_block_k`` bounds the
+per-rank workspace (pad buffers scale with ``nx * k_c``) without
+changing the numerics.  A chunk of one column degenerates *bitwise* to
+the vector path (the SBGEMM dispatcher hands ``k == 1`` panels to the
+SBGEMV entry point); wider chunks match it to rounding, since a GEMM's
+column accumulation order differs from a GEMV's.
 """
 
 from __future__ import annotations
@@ -35,6 +56,7 @@ from repro.core.precision import PrecisionConfig
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.specs import GPUSpec
+from repro.util.blocking import check_block, chunk_ranges, validate_max_block_k
 from repro.util.dtypes import cast_to
 from repro.util.timing import TimingReport
 from repro.util.validation import ReproError
@@ -58,6 +80,11 @@ class ParallelFFTMatvec:
         GPU architecture for the per-rank compute model.  Only rank
         (0,0) charges compute time (ranks are concurrent and balanced);
         every rank computes real numerics.
+    max_block_k:
+        Default chunk width for the blocked :meth:`matmat` /
+        :meth:`rmatmat` path (None = all k columns in one chunk).
+        Bounds per-rank workspace; each chunk costs one
+        broadcast + one reduce.
     """
 
     def __init__(
@@ -66,6 +93,7 @@ class ParallelFFTMatvec:
         grid: ProcessGrid,
         spec: Optional[GPUSpec] = None,
         use_optimized_sbgemv: bool = True,
+        max_block_k: Optional[int] = None,
     ) -> None:
         self.matrix = (
             matrix
@@ -114,7 +142,10 @@ class ParallelFFTMatvec:
         self._silent_col = SimCommunicator(
             grid.pr, net=grid.net, clock=None, span=col_span, name="col_silent"
         )
+        self.max_block_k = validate_max_block_k(max_block_k)
         self.last_timing: Optional[TimingReport] = None
+        self.matvec_count = 0  # logical operator actions (k per block)
+        self.matmat_count = 0  # blocked pipeline passes (one per chunk)
 
     # -- helpers ------------------------------------------------------------
     def _timed_col(self, c: int) -> SimCommunicator:
@@ -180,6 +211,7 @@ class ParallelFFTMatvec:
             out[:, r0:r1] = np.asarray(reduced, dtype=np.float64)
 
         self._record(before, f"{cfg} F ({self.grid.pr}x{self.grid.pc})")
+        self.matvec_count += 1
         return out
 
     # -- adjoint ------------------------------------------------------------------
@@ -222,4 +254,140 @@ class ParallelFFTMatvec:
             out[:, c0:c1] = np.asarray(reduced, dtype=np.float64)
 
         self._record(before, f"{cfg} F* ({self.grid.pr}x{self.grid.pc})")
+        self.matvec_count += 1
         return out
+
+    # -- blocked multi-RHS path across the grid ------------------------------
+    def _check_block(self, V: np.ndarray, nx: int, what: str) -> np.ndarray:
+        """Validate/reshape a multi-RHS block to (Nt, nx, k)."""
+        return check_block(V, self.nt, nx, what)
+
+    def _matmat_chunk(
+        self, chunk: np.ndarray, cfg: PrecisionConfig, adjoint: bool
+    ) -> np.ndarray:
+        """One chunk through the grid: one bcast + one reduce per col/row.
+
+        Forward: chunk is (Nt, Nm, kc) -> (Nt, Nd, kc); the parameter
+        block is broadcast down each grid column, partial data blocks are
+        tree-reduced across each grid row.  Adjoint swaps the roles.
+        """
+        kc = chunk.shape[2]
+        in_ranges = self._row_ranges if adjoint else self._col_ranges
+        out_ranges = self._col_ranges if adjoint else self._row_ranges
+        in_comm = self._timed_row if adjoint else self._timed_col
+        out_comm = self._timed_col if adjoint else self._timed_row
+        n_in = self.grid.pr if adjoint else self.grid.pc
+        n_out = self.grid.pc if adjoint else self.grid.pr
+        ny = self.nm if adjoint else self.nd
+
+        # Phase 1 communication: ONE batched broadcast per grid column
+        # (row for the adjoint) carries the whole (Nt, n_local, kc) block
+        # in Phase 1's precision — volume scales by kc, the log2 latency
+        # tree is paid once for the chunk.
+        in_blocks: Dict[int, np.ndarray] = {}
+        for i in range(n_in):
+            i0, i1 = in_ranges[i]
+            payload = cast_to(np.ascontiguousarray(chunk[:, i0:i1, :]), cfg.pad)
+            with self.grid.clock.phase("pad"):
+                copies = in_comm(i).bcast(payload, root=0, phase="pad")
+            in_blocks[i] = copies[0]
+
+        # Per-rank blocked pipelines: one pad / batched FFT / SBGEMM /
+        # IFFT / unpad pass for the chunk (all ranks; (0,0) charges time).
+        partials: Dict[Tuple[int, int], np.ndarray] = {}
+        for r in range(self.grid.pr):
+            for c in range(self.grid.pc):
+                local = np.asarray(
+                    in_blocks[r if adjoint else c], dtype=np.float64
+                )
+                partials[(r, c)] = self.engines[(r, c)]._pipeline_block(
+                    local, cfg, adjoint=adjoint
+                )
+
+        # Phase 5 communication: ONE batched tree-reduce per grid row
+        # (column for the adjoint); the eps5 * log2 accumulation applies
+        # elementwise to every column of the block.
+        out = np.zeros((self.nt, ny, kc))
+        for o in range(n_out):
+            o0, o1 = out_ranges[o]
+            if adjoint:
+                contribs = [
+                    cast_to(partials[(r, o)], cfg.unpad)
+                    for r in range(self.grid.pr)
+                ]
+            else:
+                contribs = [
+                    cast_to(partials[(o, c)], cfg.unpad)
+                    for c in range(self.grid.pc)
+                ]
+            with self.grid.clock.phase("unpad"):
+                reduced = out_comm(o).reduce(
+                    contribs, root=0, precision=cfg.unpad, phase="unpad"
+                )
+            out[:, o0:o1, :] = np.asarray(reduced, dtype=np.float64)
+        return out
+
+    def _matmat_impl(
+        self,
+        V: np.ndarray,
+        config: Union[str, PrecisionConfig],
+        max_block_k: Optional[int],
+        adjoint: bool,
+    ) -> np.ndarray:
+        cfg = PrecisionConfig.parse(config)
+        nx = self.nd if adjoint else self.nm
+        VV = self._check_block(V, nx, "data" if adjoint else "parameter")
+        k = VV.shape[2]
+        if max_block_k is None:
+            max_block_k = self.max_block_k
+        else:
+            max_block_k = validate_max_block_k(max_block_k)
+        ranges = chunk_ranges(k, max_block_k)
+
+        before = self._snapshot()
+        ny = self.nm if adjoint else self.nd
+        out = np.empty((self.nt, ny, k))
+        for j0, j1 in ranges:
+            out[:, :, j0:j1] = self._matmat_chunk(
+                VV[:, :, j0:j1], cfg, adjoint=adjoint
+            )
+        name = "F*" if adjoint else "F"
+        self._record(
+            before,
+            f"{cfg} {name}[k={k}/{len(ranges)} chunk(s)] "
+            f"({self.grid.pr}x{self.grid.pc})",
+        )
+        self.matvec_count += k
+        self.matmat_count += len(ranges)
+        return out
+
+    def matmat(
+        self,
+        M: np.ndarray,
+        config: Union[str, PrecisionConfig] = "ddddd",
+        max_block_k: Optional[int] = None,
+    ) -> np.ndarray:
+        """Compute ``D = F M`` for k parameter vectors across the grid.
+
+        ``M`` is ``(Nt, Nm, k)`` (or scipy-style ``(Nt*Nm, k)``); the
+        result is ``(Nt, Nd, k)``.  Each chunk of at most ``max_block_k``
+        columns (default: the constructor's knob; None = one chunk) pays
+        one column-broadcast and one row-reduce — ``ceil(k/max_block_k)``
+        collectives total instead of ``k``.  ``matvec_count`` advances by
+        ``k`` (logical actions), ``matmat_count`` by the chunk count.
+        """
+        return self._matmat_impl(M, config, max_block_k, adjoint=False)
+
+    def rmatmat(
+        self,
+        D: np.ndarray,
+        config: Union[str, PrecisionConfig] = "ddddd",
+        max_block_k: Optional[int] = None,
+    ) -> np.ndarray:
+        """Compute ``M = F* D`` for k data vectors across the grid.
+
+        The blocked adjoint: one row-broadcast and one column-reduce per
+        chunk (the column reduce crosses machine groups, so batching its
+        latency matters most).  See :meth:`matmat`.
+        """
+        return self._matmat_impl(D, config, max_block_k, adjoint=True)

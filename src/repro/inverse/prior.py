@@ -124,6 +124,13 @@ class GaussianPrior:
         a = self._check_block(M)
         return self._from_space_rhs(self._Kinv @ self._to_space_rhs(a), a.shape[2])
 
+    def apply_block(self, M: np.ndarray) -> np.ndarray:
+        """Gamma_prior applied to a (nt, nm, k) block in one sparse solve."""
+        a = self._check_block(M)
+        return self._from_space_rhs(
+            self._solve_prec(self._to_space_rhs(a)), a.shape[2]
+        )
+
     def apply_sqrt_block(self, Z: np.ndarray) -> np.ndarray:
         """Gamma_prior^{1/2} applied to a (nt, nm, k) block in one solve."""
         a = self._check_block(Z)

@@ -1,0 +1,72 @@
+"""Chunking helpers for the blocked multi-RHS paths.
+
+Every blocked consumer — the grid engine, dense-operator assembly, the
+overlapped pipeline — bounds its per-pass workspace by splitting ``k``
+right-hand sides into chunks of at most ``max_block_k`` columns.  The
+contract all of them share: chunks are contiguous, ordered, cover
+``range(k)`` exactly once, and there are ``ceil(k / max_block_k)`` of
+them — which is also the number of collectives / pipeline passes the
+chunked path performs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.validation import ReproError, check_positive_int
+
+__all__ = ["chunk_ranges", "n_chunks", "validate_max_block_k", "check_block"]
+
+
+def check_block(V, nt: int, nx: int, what: str) -> np.ndarray:
+    """Validate/reshape a multi-RHS block to ``(nt, nx, k)`` float64.
+
+    Accepts the native ``(nt, nx, k)`` layout or scipy-style
+    ``(nt*nx, k)`` stacked flat vectors.  The single definition of the
+    block-input contract shared by the single-device and grid engines.
+    """
+    a = np.asarray(V)
+    if a.ndim == 2:
+        if a.shape[0] != nt * nx:
+            raise ReproError(
+                f"{what} block matrix must have {nt * nx} rows "
+                f"(= Nt * {nx}), got {a.shape[0]}"
+            )
+        a = a.reshape(nt, nx, a.shape[1])
+    if a.ndim != 3 or a.shape[:2] != (nt, nx):
+        raise ReproError(
+            f"{what} block must be ({nt}, {nx}, k) or "
+            f"({nt * nx}, k), got {np.asarray(V).shape}"
+        )
+    return a.astype(np.float64, copy=False)
+
+
+def chunk_ranges(k: int, max_block_k: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` column ranges covering ``range(k)``.
+
+    ``max_block_k=None`` means unbounded: one chunk with all k columns.
+    """
+    check_positive_int(k, "k")
+    if max_block_k is None:
+        return [(0, k)]
+    check_positive_int(max_block_k, "max_block_k")
+    return [(j, min(j + max_block_k, k)) for j in range(0, k, max_block_k)]
+
+
+def n_chunks(k: int, max_block_k: Optional[int] = None) -> int:
+    """Number of chunks ``chunk_ranges`` produces: ``ceil(k / max_block_k)``."""
+    if max_block_k is None:
+        check_positive_int(k, "k")
+        return 1
+    return len(chunk_ranges(k, max_block_k))
+
+
+def validate_max_block_k(max_block_k: Optional[int]) -> Optional[int]:
+    """Validate a chunk-size knob (None = unbounded)."""
+    if max_block_k is None:
+        return None
+    if int(max_block_k) != max_block_k or max_block_k < 1:
+        raise ReproError(f"max_block_k must be a positive int or None, got {max_block_k}")
+    return int(max_block_k)

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core.matvec import FFTMatvec
-from repro.core.pipeline import HostModel, OverlappedMatvecRunner
+from repro.core.pipeline import (
+    BlockedPipelineReport,
+    HostModel,
+    OverlappedMatvecRunner,
+)
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.specs import MI300X
@@ -87,6 +91,90 @@ class TestRunner:
         assert outputs[0].shape == (16, 24)
 
 
+class TestBlockedRunner:
+    def test_outputs_match_direct_matmat(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine)
+        V = rng.standard_normal((16, 24, 6))
+        out, report = runner.run_blocked(V)
+        np.testing.assert_array_equal(out, engine.matmat(V))
+        assert isinstance(report, BlockedPipelineReport)
+        assert report.n_vectors == 6 and report.n_blocks == 1
+
+    def test_chunked_blocks_counted(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine)
+        V = rng.standard_normal((16, 24, 7))
+        out, report = runner.run_blocked(V, max_block_k=3)
+        assert report.n_blocks == 3
+        np.testing.assert_allclose(out, engine.matmat(V), rtol=1e-13)
+
+    def test_blocked_device_time_below_looped(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine)
+        V = rng.standard_normal((16, 24, 8))
+        _, blocked = runner.run_blocked(V)
+        _, looped = runner.run([V[:, :, j] for j in range(8)])
+        assert blocked.device_time < looped.device_time
+        assert blocked.host_time == looped.host_time  # host side unchanged
+
+    def test_steady_state_is_max_of_sides(self, engine, rng):
+        # Host-bound: per slot, the neighbouring chunks' gen/save work
+        # dominates the matmat.  Slot 0 only generates chunk 1, slot 1
+        # only saves chunk 0, so total host work equals the serial one.
+        host = HostModel(5e-3, 5e-3)
+        runner = OverlappedMatvecRunner(engine, host)
+        V = rng.standard_normal((16, 24, 6))
+        _, report = runner.run_blocked(V, max_block_k=3)
+        # prologue 3*gen + slot0 3*gen + slot1 3*save + epilogue 3*save
+        expected = 3 * 5e-3 + 3 * 5e-3 + 3 * 5e-3 + 3 * 5e-3
+        assert report.overlapped_total == pytest.approx(expected, rel=1e-6)
+
+    def test_overlap_never_loses_to_serial(self, engine, rng):
+        # max(a, b) <= a + b per slot and host work sums to the serial
+        # host time, so the blocked overlap is bounded by serial for any
+        # host model / chunking.
+        V = rng.standard_normal((16, 24, 11))
+        for gen, save in ((1e-7, 1e-7), (5e-3, 5e-3), (20e-6, 80e-6)):
+            runner = OverlappedMatvecRunner(engine, HostModel(gen, save))
+            for mbk in (None, 1, 4):
+                _, rep = runner.run_blocked(V, max_block_k=mbk)
+                assert rep.overlapped_total <= rep.serial_total * (1 + 1e-12)
+
+    def test_blocking_can_flip_device_bound_to_host_bound(self, engine, rng):
+        # The blocked device side shrinks while the host side does not:
+        # pick host costs below the per-matvec time (looped run is
+        # device-bound) but above the per-vector share of the matmat.
+        V = rng.standard_normal((16, 24, 16))
+        probe = OverlappedMatvecRunner(engine, HostModel(0.0, 0.0))
+        _, base = probe.run([V[:, :, j] for j in range(16)])
+        t_per = base.device_time / 16
+        host = HostModel(gen_time=0.3 * t_per, save_time=0.3 * t_per)
+        runner = OverlappedMatvecRunner(engine, host)
+        _, looped = runner.run([V[:, :, j] for j in range(16)])
+        _, blocked = runner.run_blocked(V, max_block_k=4)
+        assert looped.device_bound
+        assert not blocked.device_bound  # the flip
+        # With chunk-granular double buffering the faster device side
+        # also wins wall-clock, not just the binding.
+        assert blocked.overlapped_total < looped.overlapped_total
+
+    def test_sink_called_per_logical_column(self, engine, rng):
+        seen = []
+        runner = OverlappedMatvecRunner(engine)
+        V = rng.standard_normal((16, 24, 5))
+        runner.run_blocked(V, max_block_k=2, sink=lambda j, o: seen.append(j))
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_adjoint_direction(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine)
+        V = rng.standard_normal((16, 3, 4))
+        out, _ = runner.run_blocked(V, adjoint=True)
+        assert out.shape == (16, 24, 4)
+
+    def test_bad_shape_rejected(self, engine, rng):
+        runner = OverlappedMatvecRunner(engine)
+        with pytest.raises(ReproError):
+            runner.run_blocked(rng.standard_normal((16, 23, 4)))
+
+
 class TestColumnAssembly:
     def test_assembles_adjoint_columns(self, engine):
         runner = OverlappedMatvecRunner(engine)
@@ -106,3 +194,20 @@ class TestColumnAssembly:
     def test_bad_index(self, engine):
         with pytest.raises(ReproError):
             OverlappedMatvecRunner(engine).assemble_columns([16 * 3])
+
+    def test_blocked_assembly_matches_looped(self, engine):
+        runner = OverlappedMatvecRunner(engine)
+        idx = [0, 5, 17, 30]
+        looped_cols, looped_rep = runner.assemble_columns(idx, adjoint=True)
+        blocked_cols, blocked_rep = runner.assemble_columns_blocked(
+            idx, adjoint=True
+        )
+        np.testing.assert_allclose(
+            blocked_cols, looped_cols, rtol=1e-12, atol=1e-14
+        )
+        assert blocked_rep.n_blocks == 1
+        assert blocked_rep.device_time < looped_rep.device_time
+
+    def test_blocked_assembly_bad_index(self, engine):
+        with pytest.raises(ReproError):
+            OverlappedMatvecRunner(engine).assemble_columns_blocked([16 * 3])

@@ -6,6 +6,8 @@ import pytest
 from repro.inverse.lti import AdvectionDiffusion1D, HeatEquation1D
 from repro.inverse.mesh import Grid1D
 from repro.inverse.oed import expected_information_gain, greedy_sensor_placement
+from repro.inverse.p2o import P2OMap, SensorBlockCache, build_p2o_blocks
+from repro.inverse.observation import ObservationOperator
 from repro.inverse.prior import GaussianPrior
 from repro.util.validation import ReproError
 
@@ -81,6 +83,59 @@ class TestGreedy:
         sel_s = greedy_sensor_placement(system, [2, 7, 12], config="dssdd", **kw)
         assert sel_d.selected == sel_s.selected
 
+    def test_blocked_assembly_carries_all_actions(self, oed_setup):
+        # Every candidate Hessian must be assembled with blocked passes:
+        # the per-evaluation actions are 2 * nt * |trial| logical
+        # matvecs riding 2 matmats, so matmat_count == 2 * evaluations.
+        _, system, prior = oed_setup
+        res = greedy_sensor_placement(system, [2, 6, 10, 14], 2, 6, prior, 0.05)
+        assert res.matmat_count == 2 * res.evaluations
+        assert res.matvec_count > 0
+
+    def test_block_k_chunking_same_selection(self, oed_setup):
+        _, system, prior = oed_setup
+        kw = dict(n_select=2, nt=6, prior=prior, noise_std=0.05)
+        full = greedy_sensor_placement(system, [2, 6, 10, 14], **kw)
+        chunked = greedy_sensor_placement(
+            system, [2, 6, 10, 14], block_k=4, **kw
+        )
+        assert chunked.selected == full.selected
+        assert chunked.gains == pytest.approx(full.gains, rel=1e-10)
+        assert chunked.matmat_count > full.matmat_count  # more, smaller passes
+        assert chunked.matvec_count == full.matvec_count  # same logical work
+
+    def test_matches_uncached_per_candidate_rebuild(self, oed_setup):
+        # The sensor-block cache + blocked assembly must reproduce the
+        # original algorithm: rebuild the p2o map per candidate and
+        # assemble the Hessian column by column.
+        _, system, prior = oed_setup
+        res = greedy_sensor_placement(system, [2, 6, 10], 2, 6, prior, 0.05)
+
+        selected, gains = [], []
+        remaining = [2, 6, 10]
+        for _ in range(2):
+            best_gain, best_idx = -np.inf, None
+            for cand in remaining:
+                trial = selected + [cand]
+                obs = ObservationOperator(system.n, trial)
+                p2o = P2OMap(system, obs, 6)
+                nt, nd = 6, len(trial)
+                hd = np.empty((nt * nd, nt * nd))
+                for col in range(nt * nd):
+                    e = np.zeros((nt, nd))
+                    e[col // nd, col % nd] = 1.0 / 0.05
+                    v = prior.apply(p2o.applyT(e))
+                    hd[:, col] = (p2o.apply(v) / 0.05).ravel()
+                gain = expected_information_gain(hd)
+                if gain > best_gain:
+                    best_gain, best_idx = gain, cand
+            selected.append(best_idx)
+            remaining.remove(best_idx)
+            gains.append(best_gain)
+
+        assert res.selected == selected
+        assert res.gains == pytest.approx(gains, rel=1e-9)
+
     def test_spread_beats_clustered_for_diffusion(self):
         # with diffusive smoothing, greedy avoids placing the second
         # sensor adjacent to the first
@@ -92,3 +147,50 @@ class TestGreedy:
         )
         first, second = res.selected
         assert abs(first - second) > 1
+
+
+class TestSensorBlockCache:
+    def test_rows_match_build_p2o_blocks_bitwise(self, oed_setup):
+        _, system, prior = oed_setup
+        cache = SensorBlockCache(system, 6)
+        sensors = [3, 9, 12]
+        obs = ObservationOperator(system.n, sensors)
+        ref = build_p2o_blocks(system, obs, 6, method="adjoint")
+        assert np.array_equal(cache.blocks(sensors), ref)
+
+    def test_rows_computed_once(self, oed_setup):
+        _, system, _ = oed_setup
+        cache = SensorBlockCache(system, 6)
+        cache.blocks([3, 9])
+        r1 = cache.row(3)
+        cache.blocks([3, 12])
+        assert cache.row(3) is r1  # cached object, not recomputed
+        assert len(cache) == 3
+
+    def test_width_matches_observation_operator(self, oed_setup):
+        _, system, _ = oed_setup
+        cache = SensorBlockCache(system, 6)
+        obs = ObservationOperator(system.n, [5], width=1)
+        ref = build_p2o_blocks(system, obs, 6, method="adjoint")
+        assert np.array_equal(cache.blocks([5], width=1), ref)
+
+    def test_out_of_range_sensor_rejected(self, oed_setup):
+        _, system, _ = oed_setup
+        with pytest.raises(ReproError):
+            SensorBlockCache(system, 6).row(system.n)
+
+    def test_precomputed_blocks_shortcut_p2o(self, oed_setup):
+        _, system, _ = oed_setup
+        obs = ObservationOperator(system.n, [4, 11])
+        cache = SensorBlockCache(system, 6)
+        direct = P2OMap(system, obs, 6)
+        shortcut = P2OMap(system, obs, 6, blocks=cache.blocks([4, 11]))
+        assert np.array_equal(
+            shortcut.matrix.blocks, direct.matrix.blocks
+        )
+
+    def test_bad_precomputed_shape_rejected(self, oed_setup):
+        _, system, _ = oed_setup
+        obs = ObservationOperator(system.n, [4, 11])
+        with pytest.raises(ReproError):
+            P2OMap(system, obs, 6, blocks=np.zeros((6, 3, system.n)))
