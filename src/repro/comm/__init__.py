@@ -36,6 +36,8 @@ from repro.comm.partition import (
     communication_aware_partition,
     published_frontier_rows,
     matvec_comm_cost,
+    skewed_extents,
+    check_extents,
 )
 from repro.comm.rccl import (
     NcclComm,
@@ -56,6 +58,8 @@ __all__ = [
     "communication_aware_partition",
     "published_frontier_rows",
     "matvec_comm_cost",
+    "skewed_extents",
+    "check_extents",
     "NcclComm",
     "NcclDataType",
     "NcclOp",

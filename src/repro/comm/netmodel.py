@@ -41,6 +41,15 @@ class NetworkModel:
     congestion_ranks:
         Normalizer for inter-group congestion: an inter-group tree step
         with ``k`` participants is slowed by ``1 + k / congestion_ranks``.
+    overlap_efficiency:
+        Fraction of a collective's cost that can be hidden behind
+        concurrent compute (1.0 = the NIC/RCCL engines run fully
+        independently; 0.0 = overlap buys nothing).  The overlapped grid
+        schedule charges the exposed remainder,
+        ``(1 - overlap_efficiency) * t``, onto the compute stream as a
+        contention penalty for every collective it overlaps — the
+        prefetched broadcasts and the interior reduces — so at 0.0 the
+        schedule converges back to the serial charge.
     """
 
     alpha_intra: float
@@ -49,6 +58,11 @@ class NetworkModel:
     beta_inter: float
     group_size: int
     congestion_ranks: int
+    overlap_efficiency: float = 1.0
+
+    def exposed_fraction(self) -> float:
+        """Share of an overlapped collective that still costs compute time."""
+        return max(0.0, min(1.0, 1.0 - self.overlap_efficiency))
 
     def groups_spanned(self, span: int) -> int:
         """Number of groups a contiguous span of ranks touches."""

@@ -20,7 +20,8 @@ grids win — the paper reports 1 row through 512 GPUs, 8 rows for
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.comm.collectives import tree_collective_time
 from repro.comm.netmodel import FRONTIER_NETWORK, NetworkModel
@@ -31,6 +32,8 @@ __all__ = [
     "communication_aware_partition",
     "published_frontier_rows",
     "candidate_rows",
+    "skewed_extents",
+    "check_extents",
 ]
 
 _ITEM = 8  # double-precision bytes; comm buffers are FP64 by default
@@ -97,6 +100,66 @@ def communication_aware_partition(
             best = (cost, pr)
     assert best is not None
     return best[1], p // best[1]
+
+
+def check_extents(
+    extents: Sequence[Tuple[int, int]], n: int, parts: int, what: str = "extents"
+) -> List[Tuple[int, int]]:
+    """Validate a 1-D block partition: contiguous, non-empty, covers [0, n).
+
+    The contract :class:`~repro.core.parallel.ParallelFFTMatvec` requires
+    of caller-supplied row/column partitions.  Returns a normalized list
+    of ``(start, stop)`` int tuples.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(parts, "parts")
+    out: List[Tuple[int, int]] = []
+    if len(extents) != parts:
+        raise ReproError(f"{what}: expected {parts} ranges, got {len(extents)}")
+    cursor = 0
+    for i, (start, stop) in enumerate(extents):
+        start, stop = int(start), int(stop)
+        if start != cursor:
+            raise ReproError(
+                f"{what}: range {i} starts at {start}, expected {cursor} "
+                "(ranges must be contiguous and ordered)"
+            )
+        if stop <= start:
+            raise ReproError(f"{what}: range {i} is empty ({start}, {stop})")
+        out.append((start, stop))
+        cursor = stop
+    if cursor != n:
+        raise ReproError(f"{what}: ranges cover [0, {cursor}), expected [0, {n})")
+    return out
+
+
+def skewed_extents(n: int, parts: int, skew: float = 0.5) -> List[Tuple[int, int]]:
+    """A deliberately *irregular* 1-D block partition.
+
+    Part 0 owns roughly ``(1 + skew)`` times the balanced share (capped
+    so every other part keeps at least one element); the remainder is
+    split evenly.  With per-rank charging, the simulator's wall time
+    follows the largest part — the skew the balanced `split_extent`
+    partition hides.  ``skew=0`` degenerates to the balanced split.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(parts, "parts")
+    if parts > n:
+        raise ReproError(f"cannot split {n} elements into {parts} non-empty parts")
+    if skew < 0:
+        raise ReproError(f"skew must be >= 0, got {skew}")
+    big = int(math.ceil(n / parts * (1.0 + skew)))
+    big = max(1, min(big, n - (parts - 1)))
+    out: List[Tuple[int, int]] = [(0, big)]
+    rest = n - big
+    start = big
+    if parts > 1:
+        base, extra = divmod(rest, parts - 1)
+        for p in range(parts - 1):
+            stop = start + base + (1 if p < extra else 0)
+            out.append((start, stop))
+            start = stop
+    return check_extents(out, n, parts, what="skewed_extents")
 
 
 def published_frontier_rows(p: int) -> int:

@@ -17,21 +17,27 @@ path broadcasts and tree-reduces whole ``(Nt, nx, k)`` blocks in one
 call, so k right-hand sides pay one latency tree (volume scales by k,
 latency does not) and the tree-reduction numerics apply elementwise per
 column — the ``eps * log2(p)`` accumulation term simply rides along for
-every column of the block.  Per-operation call counters
-(``op_counts``) let benchmarks assert the batched path really collapses
-k collectives into one.
+every column of the block.  Per-operation call counters (``op_counts``)
+and byte totals (``op_bytes``) let benchmarks assert per-stage batching
+without rebuilding the communicator (:meth:`reset_op_counts`).
+
+Time is charged to the shared clock directly (blocking collectives), or
+— inside an :meth:`SimCommunicator.on_stream` block — onto a timeline
+stream, so an overlapped schedule can prefetch a broadcast on its comm
+stream while compute proceeds on another.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import contextlib
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.comm.collectives import tree_collective_time, tree_reduce_arrays
 from repro.comm.netmodel import NetworkModel, SIMPLE_NETWORK
 from repro.util.dtypes import Precision
-from repro.util.timing import SimClock
+from repro.util.timing import SimClock, Stream
 from repro.util.validation import ReproError, check_positive_int
 
 __all__ = ["SimCommunicator"]
@@ -55,6 +61,8 @@ class SimCommunicator:
         grid-column subcommunicator spans nearly the whole machine.
     """
 
+    _OPS = ("bcast", "reduce", "allreduce", "allgather", "scatter", "barrier")
+
     def __init__(
         self,
         size: int,
@@ -68,16 +76,29 @@ class SimCommunicator:
         self.clock = clock
         self.span = self.size if span is None else max(span, self.size)
         self.name = name
+        self.stream: Optional[Stream] = None
         self.bytes_communicated = 0.0
         self.collective_calls = 0
-        self.op_counts: dict = {
-            "bcast": 0,
-            "reduce": 0,
-            "allreduce": 0,
-            "allgather": 0,
-            "scatter": 0,
-            "barrier": 0,
-        }
+        self.op_counts: dict = {op: 0 for op in self._OPS}
+        self.op_bytes: dict = {op: 0.0 for op in self._OPS}
+
+    # -- stream routing -----------------------------------------------------
+    @contextlib.contextmanager
+    def on_stream(self, stream: Optional[Stream]) -> Iterator[None]:
+        """Charge collectives inside the block onto a timeline stream.
+
+        The collective's numerics still run eagerly (ranks are simulated
+        in-process); only the modeled time rides the stream, letting a
+        scheduler overlap it against compute.  Phase attribution happens
+        at charge time on the stream's shared clock.  ``None`` restores
+        direct clock charging.
+        """
+        prev = self.stream
+        self.stream = stream
+        try:
+            yield
+        finally:
+            self.stream = prev
 
     # -- helpers -----------------------------------------------------------
     def _check_per_rank(self, arrays: Sequence[np.ndarray], what: str) -> List[np.ndarray]:
@@ -87,14 +108,31 @@ class SimCommunicator:
             )
         return [np.asarray(a) for a in arrays]
 
-    def _charge(self, k: int, nbytes: float, phase: str) -> float:
+    def _charge(self, k: int, nbytes: float, phase: str, op: str = "") -> float:
         t = tree_collective_time(k, nbytes, self.net, span=self.span)
-        if self.clock is not None:
+        if self.stream is not None:
+            self.stream.charge(t, phase=phase)
+        elif self.clock is not None:
             with self.clock.phase(phase):
                 self.clock.advance(t)
-        self.bytes_communicated += nbytes * max(k - 1, 0)
+        moved = nbytes * max(k - 1, 0)
+        self.bytes_communicated += moved
         self.collective_calls += 1
+        if op:
+            self.op_bytes[op] += moved
         return t
+
+    def reset_op_counts(self) -> None:
+        """Zero the traffic counters (call counts, per-op and total bytes).
+
+        Benchmarks asserting per-stage batching can reset between stages
+        instead of rebuilding the communicator (which would also reset
+        the shared clock wiring).
+        """
+        self.bytes_communicated = 0.0
+        self.collective_calls = 0
+        self.op_counts = {op: 0 for op in self._OPS}
+        self.op_bytes = {op: 0.0 for op in self._OPS}
 
     # -- collectives ---------------------------------------------------------
     def bcast(self, value: np.ndarray, root: int = 0, phase: str = "comm") -> List[np.ndarray]:
@@ -103,7 +141,7 @@ class SimCommunicator:
             raise ReproError(f"root {root} out of range for size {self.size}")
         buf = np.asarray(value)
         self.op_counts["bcast"] += 1
-        self._charge(self.size, buf.nbytes, phase)
+        self._charge(self.size, buf.nbytes, phase, op="bcast")
         return [buf.copy() for _ in range(self.size)]
 
     def reduce(
@@ -124,7 +162,7 @@ class SimCommunicator:
             raise ReproError(f"root {root} out of range for size {self.size}")
         out = tree_reduce_arrays(bufs, precision=precision)
         self.op_counts["reduce"] += 1
-        self._charge(self.size, bufs[0].nbytes, phase)
+        self._charge(self.size, bufs[0].nbytes, phase, op="reduce")
         return out
 
     def allreduce(
@@ -138,8 +176,8 @@ class SimCommunicator:
         out = tree_reduce_arrays(bufs, precision=precision)
         self.op_counts["allreduce"] += 1
         # reduce + bcast trees; charge both.
-        self._charge(self.size, bufs[0].nbytes, phase)
-        self._charge(self.size, bufs[0].nbytes, phase)
+        self._charge(self.size, bufs[0].nbytes, phase, op="allreduce")
+        self._charge(self.size, bufs[0].nbytes, phase, op="allreduce")
         return [out.copy() for _ in range(self.size)]
 
     def allgather(self, arrays: Sequence[np.ndarray], phase: str = "comm") -> List[np.ndarray]:
@@ -147,7 +185,7 @@ class SimCommunicator:
         bufs = self._check_per_rank(arrays, "allgather")
         gathered = np.concatenate([b.ravel() for b in bufs])
         self.op_counts["allgather"] += 1
-        self._charge(self.size, gathered.nbytes, phase)
+        self._charge(self.size, gathered.nbytes, phase, op="allgather")
         return [gathered.copy() for _ in range(self.size)]
 
     def scatter(self, chunks: Sequence[np.ndarray], root: int = 0, phase: str = "comm") -> List[np.ndarray]:
@@ -156,13 +194,13 @@ class SimCommunicator:
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
         self.op_counts["scatter"] += 1
-        self._charge(self.size, max(b.nbytes for b in bufs), phase)
+        self._charge(self.size, max(b.nbytes for b in bufs), phase, op="scatter")
         return [b.copy() for b in bufs]
 
     def barrier(self, phase: str = "comm") -> None:
         """Synchronize (latency-only collective)."""
         self.op_counts["barrier"] += 1
-        self._charge(self.size, 0.0, phase)
+        self._charge(self.size, 0.0, phase, op="barrier")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimCommunicator({self.name!r}, size={self.size}, span={self.span})"

@@ -16,40 +16,63 @@ spatial parameters across grid columns.  One F matvec then runs:
 The adjoint swaps the roles: broadcast over rows, reduce over columns.
 
 All ranks execute sequentially in-process with genuine per-rank
-numerics.  Compute time is charged once (ranks run concurrently and the
-partition is balanced, so wall time equals one rank's time); collectives
-are charged once per phase through the grid's timed communicators.
+numerics, and — unlike the original single-clock model — every rank
+carries its own simulated device: per-rank compute time is measured on
+per-rank clocks, and the wall time charged between collectives is the
+**max over ranks**.  Balanced partitions charge exactly one rank's time
+(all ranks tie); irregular partitions (caller-supplied ``row_ranges`` /
+``col_ranges``, e.g. :func:`repro.comm.partition.skewed_extents`) charge
+genuine skew — the slowest rank gates every collective, exactly as a
+blocking collective would on the real machine.
+
+Event-timeline execution (paper Sec. 4.2.2, Figure 4)
+-----------------------------------------------------
+Timing rides the stream/event model of :mod:`repro.util.timing`.  The
+blocked :meth:`ParallelFFTMatvec.matmat` / :meth:`~ParallelFFTMatvec.rmatmat`
+run a *double-buffered chunk schedule* over two streams:
+
+* the **comm stream** carries the chunk collectives — and *prefetches*
+  chunk ``i+1``'s column-broadcast while chunk ``i`` computes;
+* the **compute stream** carries the per-rank (max) five-phase pipeline,
+  waiting on the prefetched broadcast's event before starting a chunk;
+* each chunk's row-reduce waits on that chunk's compute event, and runs
+  on the comm stream concurrently with chunk ``i+1``'s compute.
+
+Wall time is the critical path through this dependency graph, realized
+on the grid clock at the final sync: whenever a chunk's compute covers
+the next chunk's broadcast, the broadcast costs nothing.  A network
+model with ``overlap_efficiency < 1`` charges the exposed remainder of
+every prefetched collective onto the compute stream (link contention).
+``overlap=False`` (constructor or per-call) charges the classic serial
+schedule — broadcast → compute → reduce per chunk, one stream — which
+reproduces the pre-timeline charge exactly.  **Numerics are identical
+in both modes, bitwise**: the schedule only decides what time costs,
+never what is computed.
 
 Blocked collectives
 -------------------
-:meth:`ParallelFFTMatvec.matmat` / :meth:`~ParallelFFTMatvec.rmatmat`
-move ``k`` right-hand sides through the grid as *blocks*: each chunk of
-at most ``max_block_k`` columns pays **one** column-broadcast and
-**one** row-reduce (per grid column/row) instead of one per vector, so
-the collective count is ``ceil(k / max_block_k)`` rather than ``k``.
+Each chunk of at most ``max_block_k`` columns pays **one**
+column-broadcast and **one** row-reduce (per grid column/row) instead of
+one per vector, so the collective count is ``ceil(k / max_block_k)``.
 The broadcast payload is the whole ``(Nt, nm_c, k_c)`` parameter block
 in Phase 1's precision — the volume term of the tree cost scales by
 ``k_c``, the ``log2`` latency trees are paid once per chunk — and the
 Phase-5 tree-reduce sums ``(Nt, nd_r, k_c)`` partial blocks elementwise,
 so the ``eps5 * log2(pc)`` accumulation term of Eq. 6 applies per column
 exactly as in the vector path.  Per-rank compute routes through
-``FFTMatvec``'s blocked pipeline (one pad / batched FFT / per-frequency
-SBGEMM / IFFT / unpad for the chunk); ``max_block_k`` bounds the
-per-rank workspace (pad buffers scale with ``nx * k_c``) without
-changing the numerics.  A chunk of one column degenerates *bitwise* to
-the vector path (the SBGEMM dispatcher hands ``k == 1`` panels to the
-SBGEMV entry point); wider chunks match it to rounding, since a GEMM's
-column accumulation order differs from a GEMV's.
+``FFTMatvec``'s blocked pipeline; a chunk of one column degenerates
+*bitwise* to the vector path, wider chunks match it to rounding (GEMM
+vs GEMV column-accumulation order).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.comm.grid import ProcessGrid
-from repro.comm.netmodel import NetworkModel, SIMPLE_NETWORK
+from repro.comm.partition import check_extents
 from repro.comm.simcomm import SimCommunicator
 from repro.core.matvec import FFTMatvec
 from repro.core.precision import PrecisionConfig
@@ -58,7 +81,7 @@ from repro.gpu.device import SimulatedDevice
 from repro.gpu.specs import GPUSpec
 from repro.util.blocking import check_block, chunk_ranges, validate_max_block_k
 from repro.util.dtypes import cast_to
-from repro.util.timing import TimingReport
+from repro.util.timing import SimClock, Stream, Timeline, TimingReport
 from repro.util.validation import ReproError
 
 __all__ = ["ParallelFFTMatvec"]
@@ -74,17 +97,27 @@ class ParallelFFTMatvec:
     matrix:
         The *global* block-triangular Toeplitz matrix (or kernel blocks).
     grid:
-        Process grid; its clock accumulates both compute and
-        communication time.
+        Process grid; its clock accumulates wall time (compute max +
+        communication critical path).
     spec:
-        GPU architecture for the per-rank compute model.  Only rank
-        (0,0) charges compute time (ranks are concurrent and balanced);
-        every rank computes real numerics.
+        GPU architecture for the per-rank compute model.  Every rank
+        carries a device on its own clock; the wall charge between
+        collectives is the max over ranks (per-rank skew is genuine).
     max_block_k:
         Default chunk width for the blocked :meth:`matmat` /
         :meth:`rmatmat` path (None = all k columns in one chunk).
         Bounds per-rank workspace; each chunk costs one
         broadcast + one reduce.
+    overlap:
+        Default schedule for the blocked path: ``True`` prefetches each
+        chunk's broadcast on the comm stream while the previous chunk
+        computes (double buffering); ``False`` charges the serial
+        broadcast → compute → reduce schedule.  Numerics are identical.
+    row_ranges, col_ranges:
+        Optional explicit 1-D partitions of the sensor / parameter
+        extents (lists of contiguous ``(start, stop)``, one per grid
+        row / column).  Defaults to the balanced ceil-based split; pass
+        :func:`repro.comm.partition.skewed_extents` to study skew.
     """
 
     def __init__(
@@ -94,6 +127,9 @@ class ParallelFFTMatvec:
         spec: Optional[GPUSpec] = None,
         use_optimized_sbgemv: bool = True,
         max_block_k: Optional[int] = None,
+        overlap: bool = True,
+        row_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+        col_ranges: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> None:
         self.matrix = (
             matrix
@@ -113,25 +149,47 @@ class ParallelFFTMatvec:
                 f"grid has {grid.pc} columns but only {self.nm} parameters to split"
             )
 
-        self.device = (
-            SimulatedDevice(spec, clock=grid.clock) if spec is not None else None
+        self._row_ranges = (
+            check_extents(row_ranges, self.nd, grid.pr, "row_ranges")
+            if row_ranges is not None
+            else grid.split_extent(self.nd, grid.pr)
         )
-        self._row_ranges = grid.split_extent(self.nd, grid.pr)
-        self._col_ranges = grid.split_extent(self.nm, grid.pc)
+        self._col_ranges = (
+            check_extents(col_ranges, self.nm, grid.pc, "col_ranges")
+            if col_ranges is not None
+            else grid.split_extent(self.nm, grid.pc)
+        )
 
-        # Per-rank engines on the local sub-blocks. Only (0,0) carries
-        # the device (single charge for concurrent, balanced compute).
+        # Per-rank devices on private clocks: each rank's compute time is
+        # measured independently, and collectives take the max (ranks run
+        # concurrently; the slowest gates the blocking collective).
+        self.devices: Dict[Tuple[int, int], Optional[SimulatedDevice]] = {}
         self.engines: Dict[Tuple[int, int], FFTMatvec] = {}
         for r in range(grid.pr):
             r0, r1 = self._row_ranges[r]
             for c in range(grid.pc):
                 c0, c1 = self._col_ranges[c]
                 local = self.matrix.blocks[:, r0:r1, c0:c1]
+                dev = (
+                    SimulatedDevice(spec, clock=SimClock())
+                    if spec is not None
+                    else None
+                )
+                self.devices[(r, c)] = dev
                 self.engines[(r, c)] = FFTMatvec(
                     BlockTriangularToeplitz(local),
-                    device=self.device if (r, c) == (0, 0) else None,
+                    device=dev,
                     use_optimized_sbgemv=use_optimized_sbgemv,
                 )
+        self.device = self.devices[(0, 0)]
+        if spec is not None:
+            # One-time spectrum setup happens on every rank concurrently;
+            # the grid clock pays the slowest rank's setup once.
+            setup = max(
+                d.clock.phase_total("setup") for d in self.devices.values()
+            )
+            with grid.clock.phase("setup"):
+                grid.clock.advance(setup)
 
         # Timed collectives (row 0 / col 0) vs silent clones for the
         # other rows/columns, which run concurrently with the timed ones.
@@ -142,22 +200,36 @@ class ParallelFFTMatvec:
         self._silent_col = SimCommunicator(
             grid.pr, net=grid.net, clock=None, span=col_span, name="col_silent"
         )
+        # All columns' (rows') collectives run concurrently; the one with
+        # the widest payload gates the wall, so that index is the timed
+        # one.  Balanced ceil-splits put the extra elements first, making
+        # this index 0 — the historical choice — but caller-supplied
+        # irregular partitions may put the big part anywhere.
+        self._timed_row_idx = max(
+            range(grid.pr), key=lambda r: self._row_ranges[r][1] - self._row_ranges[r][0]
+        )
+        self._timed_col_idx = max(
+            range(grid.pc), key=lambda c: self._col_ranges[c][1] - self._col_ranges[c][0]
+        )
         self.max_block_k = validate_max_block_k(max_block_k)
+        self.overlap = bool(overlap)
         self.last_timing: Optional[TimingReport] = None
         self.matvec_count = 0  # logical operator actions (k per block)
         self.matmat_count = 0  # blocked pipeline passes (one per chunk)
 
     # -- helpers ------------------------------------------------------------
     def _timed_col(self, c: int) -> SimCommunicator:
-        return self.grid.col_comm(0) if c == 0 else self._silent_col
+        return self.grid.col_comm(0) if c == self._timed_col_idx else self._silent_col
 
     def _timed_row(self, r: int) -> SimCommunicator:
-        return self.grid.row_comm(0) if r == 0 else self._silent_row
+        return self.grid.row_comm(0) if r == self._timed_row_idx else self._silent_row
 
     def _snapshot(self) -> Dict[str, float]:
         return {p: self.grid.clock.phase_total(p) for p in _PHASES}
 
-    def _record(self, before: Dict[str, float], label: str) -> None:
+    def _record(
+        self, before: Dict[str, float], label: str, wall: Optional[float] = None
+    ) -> None:
         clock = self.grid.clock
         self.last_timing = TimingReport(
             phases={
@@ -166,13 +238,60 @@ class ParallelFFTMatvec:
                 if clock.phase_total(p) - before[p] > 0
             },
             label=label,
+            wall=wall,
         )
+
+    def _rank_compute(
+        self, run_rank: Callable[[int, int, FFTMatvec], np.ndarray]
+    ) -> Tuple[Dict[Tuple[int, int], np.ndarray], Dict[str, float]]:
+        """Run every rank's local pipeline; return partials + max-rank time.
+
+        Each rank charges its private clock; the returned phase breakdown
+        is the *slowest* rank's (per-rank skew — on a balanced partition
+        every rank ties and this is exactly one rank's time, matching the
+        old single-charge model bitwise).
+        """
+        partials: Dict[Tuple[int, int], np.ndarray] = {}
+        slowest: Optional[Tuple[float, Dict[str, float]]] = None
+        for (r, c), engine in self.engines.items():
+            dev = self.devices[(r, c)]
+            if dev is not None:
+                before = {p: dev.clock.phase_total(p) for p in _PHASES}
+            partials[(r, c)] = run_rank(r, c, engine)
+            if dev is not None:
+                deltas = {
+                    p: dev.clock.phase_total(p) - before[p] for p in _PHASES
+                }
+                total = sum(deltas.values())
+                if slowest is None or total > slowest[0]:
+                    slowest = (total, deltas)
+        return partials, (slowest[1] if slowest is not None else {})
+
+    def _charge_compute(
+        self, phases: Dict[str, float], stream: Optional[Stream] = None
+    ) -> None:
+        """Charge a per-phase compute breakdown onto a stream or the clock."""
+        clock = self.grid.clock
+        for p in _PHASES:
+            t = phases.get(p, 0.0)
+            if t <= 0:
+                continue
+            if stream is not None:
+                stream.charge(t, phase=p)
+            else:
+                with clock.phase(p):
+                    clock.advance(t)
 
     # -- forward ---------------------------------------------------------------
     def matvec(
         self, m: np.ndarray, config: Union[str, PrecisionConfig] = "ddddd"
     ) -> np.ndarray:
-        """Compute ``d = F m`` across the grid; returns the global (Nt, Nd)."""
+        """Compute ``d = F m`` across the grid; returns the global (Nt, Nd).
+
+        A single matvec cannot overlap (phases 2–4 depend on the Phase-1
+        broadcast), so the serial schedule applies; compute is charged as
+        the max over ranks.
+        """
         cfg = PrecisionConfig.parse(config)
         mm = self.matrix.check_input(m).astype(np.float64, copy=False)
         before = self._snapshot()
@@ -183,18 +302,16 @@ class ParallelFFTMatvec:
         for c in range(self.grid.pc):
             c0, c1 = self._col_ranges[c]
             payload = cast_to(np.ascontiguousarray(mm[:, c0:c1]), cfg.pad)
-            with self.grid.clock.phase("pad"):
-                copies = self._timed_col(c).bcast(payload, root=0, phase="pad")
+            copies = self._timed_col(c).bcast(payload, root=0, phase="pad")
             col_blocks[c] = copies[0]
 
-        # Local five-phase pipelines (all ranks; only (0,0) charges time).
-        partials: Dict[Tuple[int, int], np.ndarray] = {}
-        for r in range(self.grid.pr):
-            for c in range(self.grid.pc):
-                local_m = np.asarray(col_blocks[c], dtype=np.float64)
-                partials[(r, c)] = self.engines[(r, c)]._pipeline(
-                    local_m, cfg, adjoint=False
-                )
+        # Local five-phase pipelines on every rank; wall = max over ranks.
+        partials, compute = self._rank_compute(
+            lambda r, c, engine: engine._pipeline(
+                np.asarray(col_blocks[c], dtype=np.float64), cfg, adjoint=False
+            )
+        )
+        self._charge_compute(compute)
 
         # Phase 5 communication: tree-reduce each row's partial data
         # block over its pc ranks in Phase 5's precision.
@@ -204,10 +321,9 @@ class ParallelFFTMatvec:
             contribs = [
                 cast_to(partials[(r, c)], cfg.unpad) for c in range(self.grid.pc)
             ]
-            with self.grid.clock.phase("unpad"):
-                reduced = self._timed_row(r).reduce(
-                    contribs, root=0, precision=cfg.unpad, phase="unpad"
-                )
+            reduced = self._timed_row(r).reduce(
+                contribs, root=0, precision=cfg.unpad, phase="unpad"
+            )
             out[:, r0:r1] = np.asarray(reduced, dtype=np.float64)
 
         self._record(before, f"{cfg} F ({self.grid.pr}x{self.grid.pc})")
@@ -228,17 +344,15 @@ class ParallelFFTMatvec:
         for r in range(self.grid.pr):
             r0, r1 = self._row_ranges[r]
             payload = cast_to(np.ascontiguousarray(dd[:, r0:r1]), cfg.pad)
-            with self.grid.clock.phase("pad"):
-                copies = self._timed_row(r).bcast(payload, root=0, phase="pad")
+            copies = self._timed_row(r).bcast(payload, root=0, phase="pad")
             row_blocks[r] = copies[0]
 
-        partials: Dict[Tuple[int, int], np.ndarray] = {}
-        for r in range(self.grid.pr):
-            for c in range(self.grid.pc):
-                local_d = np.asarray(row_blocks[r], dtype=np.float64)
-                partials[(r, c)] = self.engines[(r, c)]._pipeline(
-                    local_d, cfg, adjoint=True
-                )
+        partials, compute = self._rank_compute(
+            lambda r, c, engine: engine._pipeline(
+                np.asarray(row_blocks[r], dtype=np.float64), cfg, adjoint=True
+            )
+        )
+        self._charge_compute(compute)
 
         # Phase 5: reduce each column's partial parameter block over pr.
         out = np.zeros((self.nt, self.nm))
@@ -247,10 +361,9 @@ class ParallelFFTMatvec:
             contribs = [
                 cast_to(partials[(r, c)], cfg.unpad) for r in range(self.grid.pr)
             ]
-            with self.grid.clock.phase("unpad"):
-                reduced = self._timed_col(c).reduce(
-                    contribs, root=0, precision=cfg.unpad, phase="unpad"
-                )
+            reduced = self._timed_col(c).reduce(
+                contribs, root=0, precision=cfg.unpad, phase="unpad"
+            )
             out[:, c0:c1] = np.asarray(reduced, dtype=np.float64)
 
         self._record(before, f"{cfg} F* ({self.grid.pr}x{self.grid.pc})")
@@ -262,51 +375,71 @@ class ParallelFFTMatvec:
         """Validate/reshape a multi-RHS block to (Nt, nx, k)."""
         return check_block(V, self.nt, nx, what)
 
-    def _matmat_chunk(
-        self, chunk: np.ndarray, cfg: PrecisionConfig, adjoint: bool
-    ) -> np.ndarray:
-        """One chunk through the grid: one bcast + one reduce per col/row.
+    def _chunk_bcast(
+        self,
+        chunk: np.ndarray,
+        cfg: PrecisionConfig,
+        adjoint: bool,
+        stream: Optional[Stream],
+    ) -> Tuple[Dict[int, np.ndarray], float]:
+        """Phase 1 communication for one chunk: ONE batched broadcast per
+        grid column (row for the adjoint) carries the whole
+        ``(Nt, n_local, kc)`` block in Phase 1's precision — volume scales
+        by kc, the log2 latency tree is paid once for the chunk.
 
-        Forward: chunk is (Nt, Nm, kc) -> (Nt, Nd, kc); the parameter
-        block is broadcast down each grid column, partial data blocks are
-        tree-reduced across each grid row.  Adjoint swaps the roles.
+        Returns the per-column (per-row) broadcast copies and the modeled
+        time charged (onto ``stream`` when given, else the grid clock).
         """
-        kc = chunk.shape[2]
         in_ranges = self._row_ranges if adjoint else self._col_ranges
-        out_ranges = self._col_ranges if adjoint else self._row_ranges
         in_comm = self._timed_row if adjoint else self._timed_col
-        out_comm = self._timed_col if adjoint else self._timed_row
         n_in = self.grid.pr if adjoint else self.grid.pc
-        n_out = self.grid.pc if adjoint else self.grid.pr
-        ny = self.nm if adjoint else self.nd
-
-        # Phase 1 communication: ONE batched broadcast per grid column
-        # (row for the adjoint) carries the whole (Nt, n_local, kc) block
-        # in Phase 1's precision — volume scales by kc, the log2 latency
-        # tree is paid once for the chunk.
+        t0 = stream.cursor if stream is not None else self.grid.clock.now
         in_blocks: Dict[int, np.ndarray] = {}
         for i in range(n_in):
             i0, i1 = in_ranges[i]
             payload = cast_to(np.ascontiguousarray(chunk[:, i0:i1, :]), cfg.pad)
-            with self.grid.clock.phase("pad"):
-                copies = in_comm(i).bcast(payload, root=0, phase="pad")
+            cobj = in_comm(i)
+            with cobj.on_stream(stream if cobj.clock is not None else None):
+                copies = cobj.bcast(payload, root=0, phase="pad")
             in_blocks[i] = copies[0]
+        t1 = stream.cursor if stream is not None else self.grid.clock.now
+        return in_blocks, t1 - t0
 
-        # Per-rank blocked pipelines: one pad / batched FFT / SBGEMM /
-        # IFFT / unpad pass for the chunk (all ranks; (0,0) charges time).
-        partials: Dict[Tuple[int, int], np.ndarray] = {}
-        for r in range(self.grid.pr):
-            for c in range(self.grid.pc):
-                local = np.asarray(
-                    in_blocks[r if adjoint else c], dtype=np.float64
-                )
-                partials[(r, c)] = self.engines[(r, c)]._pipeline_block(
-                    local, cfg, adjoint=adjoint
-                )
+    def _chunk_compute(
+        self,
+        in_blocks: Dict[int, np.ndarray],
+        cfg: PrecisionConfig,
+        adjoint: bool,
+        stream: Optional[Stream],
+    ) -> Dict[Tuple[int, int], np.ndarray]:
+        """Per-rank blocked pipelines for one chunk: one pad / batched FFT
+        / SBGEMM / IFFT / unpad pass on every rank; the max-rank time is
+        charged onto ``stream`` (or the grid clock)."""
+        partials, compute = self._rank_compute(
+            lambda r, c, engine: engine._pipeline_block(
+                np.asarray(in_blocks[r if adjoint else c], dtype=np.float64),
+                cfg,
+                adjoint=adjoint,
+            )
+        )
+        self._charge_compute(compute, stream=stream)
+        return partials
 
-        # Phase 5 communication: ONE batched tree-reduce per grid row
-        # (column for the adjoint); the eps5 * log2 accumulation applies
-        # elementwise to every column of the block.
+    def _chunk_reduce(
+        self,
+        partials: Dict[Tuple[int, int], np.ndarray],
+        kc: int,
+        cfg: PrecisionConfig,
+        adjoint: bool,
+        stream: Optional[Stream],
+    ) -> np.ndarray:
+        """Phase 5 communication for one chunk: ONE batched tree-reduce
+        per grid row (column for the adjoint); the eps5 * log2
+        accumulation applies elementwise to every column of the block."""
+        out_ranges = self._col_ranges if adjoint else self._row_ranges
+        out_comm = self._timed_col if adjoint else self._timed_row
+        n_out = self.grid.pc if adjoint else self.grid.pr
+        ny = self.nm if adjoint else self.nd
         out = np.zeros((self.nt, ny, kc))
         for o in range(n_out):
             o0, o1 = out_ranges[o]
@@ -320,12 +453,86 @@ class ParallelFFTMatvec:
                     cast_to(partials[(o, c)], cfg.unpad)
                     for c in range(self.grid.pc)
                 ]
-            with self.grid.clock.phase("unpad"):
-                reduced = out_comm(o).reduce(
+            cobj = out_comm(o)
+            with cobj.on_stream(stream if cobj.clock is not None else None):
+                reduced = cobj.reduce(
                     contribs, root=0, precision=cfg.unpad, phase="unpad"
                 )
             out[:, o0:o1, :] = np.asarray(reduced, dtype=np.float64)
         return out
+
+    def _matmat_serial(
+        self,
+        VV: np.ndarray,
+        out: np.ndarray,
+        ranges: List[Tuple[int, int]],
+        cfg: PrecisionConfig,
+        adjoint: bool,
+    ) -> None:
+        """Serial charge: broadcast → compute → reduce per chunk, in
+        program order on the grid clock (the pre-timeline model)."""
+        for j0, j1 in ranges:
+            chunk = VV[:, :, j0:j1]
+            in_blocks, _ = self._chunk_bcast(chunk, cfg, adjoint, stream=None)
+            partials = self._chunk_compute(in_blocks, cfg, adjoint, stream=None)
+            out[:, :, j0:j1] = self._chunk_reduce(
+                partials, j1 - j0, cfg, adjoint, stream=None
+            )
+
+    def _matmat_overlapped(
+        self,
+        VV: np.ndarray,
+        out: np.ndarray,
+        ranges: List[Tuple[int, int]],
+        cfg: PrecisionConfig,
+        adjoint: bool,
+    ) -> None:
+        """Double-buffered chunk schedule on the event timeline.
+
+        Comm stream: bcast(0), bcast(1), reduce(0), bcast(2), reduce(1),
+        …, reduce(n-1) — each chunk's broadcast is *prefetched* while the
+        previous chunk computes, and each reduce waits on its chunk's
+        compute event.  Compute stream: chunk i waits on bcast(i)'s
+        event.  Wall time (realized at the final sync) is the critical
+        path; the numerics are identical to the serial schedule.
+        """
+        tl = Timeline(self.grid.clock)
+        comm_s = tl.stream("comm")
+        comp_s = tl.stream("compute")
+        exposed = self.grid.net.exposed_fraction()
+
+        in_blocks, _ = self._chunk_bcast(
+            VV[:, :, ranges[0][0] : ranges[0][1]], cfg, adjoint, stream=comm_s
+        )
+        ev_bcast = comm_s.record("bcast[0]")
+        reduce_tax = 0.0  # exposed share of the previous chunk's reduce
+        for i, (j0, j1) in enumerate(ranges):
+            comp_s.wait(ev_bcast)
+            if reduce_tax > 0.0:
+                # Imperfect overlap: the previous chunk's reduce steals
+                # link/engine bandwidth from this chunk's compute.
+                comp_s.charge(reduce_tax, phase="unpad")
+            partials = self._chunk_compute(in_blocks, cfg, adjoint, stream=comp_s)
+            if i + 1 < len(ranges):
+                n0, n1 = ranges[i + 1]
+                in_blocks, t_next = self._chunk_bcast(
+                    VV[:, :, n0:n1], cfg, adjoint, stream=comm_s
+                )
+                ev_bcast = comm_s.record(f"bcast[{i + 1}]")
+                if exposed > 0.0:
+                    # ... as does the prefetched broadcast.
+                    comp_s.charge(exposed * t_next, phase="pad")
+            ev_compute = comp_s.record(f"compute[{i}]")
+            comm_s.wait(ev_compute)
+            c0 = comm_s.cursor
+            out[:, :, j0:j1] = self._chunk_reduce(
+                partials, j1 - j0, cfg, adjoint, stream=comm_s
+            )
+            # This reduce overlaps the *next* chunk's compute (if any).
+            reduce_tax = (
+                exposed * (comm_s.cursor - c0) if i + 1 < len(ranges) else 0.0
+            )
+        tl.sync()
 
     def _matmat_impl(
         self,
@@ -333,6 +540,7 @@ class ParallelFFTMatvec:
         config: Union[str, PrecisionConfig],
         max_block_k: Optional[int],
         adjoint: bool,
+        overlap: Optional[bool],
     ) -> np.ndarray:
         cfg = PrecisionConfig.parse(config)
         nx = self.nd if adjoint else self.nm
@@ -343,19 +551,23 @@ class ParallelFFTMatvec:
         else:
             max_block_k = validate_max_block_k(max_block_k)
         ranges = chunk_ranges(k, max_block_k)
+        use_overlap = self.overlap if overlap is None else bool(overlap)
 
         before = self._snapshot()
+        t_start = self.grid.clock.now
         ny = self.nm if adjoint else self.nd
         out = np.empty((self.nt, ny, k))
-        for j0, j1 in ranges:
-            out[:, :, j0:j1] = self._matmat_chunk(
-                VV[:, :, j0:j1], cfg, adjoint=adjoint
-            )
+        if use_overlap:
+            self._matmat_overlapped(VV, out, ranges, cfg, adjoint)
+        else:
+            self._matmat_serial(VV, out, ranges, cfg, adjoint)
         name = "F*" if adjoint else "F"
+        sched = "overlap" if use_overlap else "serial"
         self._record(
             before,
-            f"{cfg} {name}[k={k}/{len(ranges)} chunk(s)] "
+            f"{cfg} {name}[k={k}/{len(ranges)} chunk(s), {sched}] "
             f"({self.grid.pr}x{self.grid.pc})",
+            wall=self.grid.clock.now - t_start,
         )
         self.matvec_count += k
         self.matmat_count += len(ranges)
@@ -366,6 +578,7 @@ class ParallelFFTMatvec:
         M: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
         max_block_k: Optional[int] = None,
+        overlap: Optional[bool] = None,
     ) -> np.ndarray:
         """Compute ``D = F M`` for k parameter vectors across the grid.
 
@@ -373,21 +586,28 @@ class ParallelFFTMatvec:
         result is ``(Nt, Nd, k)``.  Each chunk of at most ``max_block_k``
         columns (default: the constructor's knob; None = one chunk) pays
         one column-broadcast and one row-reduce — ``ceil(k/max_block_k)``
-        collectives total instead of ``k``.  ``matvec_count`` advances by
-        ``k`` (logical actions), ``matmat_count`` by the chunk count.
+        collectives total instead of ``k``.  ``overlap`` selects the
+        charged schedule (None = constructor default): the overlapped
+        schedule prefetches each chunk's broadcast behind the previous
+        chunk's compute, the serial one charges them back to back;
+        results are bitwise identical either way.  ``matvec_count``
+        advances by ``k`` (logical actions), ``matmat_count`` by the
+        chunk count; ``last_timing.wall`` holds the schedule's critical
+        path, ``last_timing.phases`` the work charged per phase.
         """
-        return self._matmat_impl(M, config, max_block_k, adjoint=False)
+        return self._matmat_impl(M, config, max_block_k, adjoint=False, overlap=overlap)
 
     def rmatmat(
         self,
         D: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
         max_block_k: Optional[int] = None,
+        overlap: Optional[bool] = None,
     ) -> np.ndarray:
         """Compute ``M = F* D`` for k data vectors across the grid.
 
         The blocked adjoint: one row-broadcast and one column-reduce per
-        chunk (the column reduce crosses machine groups, so batching its
-        latency matters most).  See :meth:`matmat`.
+        chunk (the column reduce crosses machine groups, so hiding its
+        latency behind compute matters most).  See :meth:`matmat`.
         """
-        return self._matmat_impl(D, config, max_block_k, adjoint=True)
+        return self._matmat_impl(D, config, max_block_k, adjoint=True, overlap=overlap)

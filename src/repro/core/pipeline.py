@@ -9,12 +9,22 @@ process is used when computing dense operators" (the data-space Hessian
 of [21], which takes ``Nd * Nt`` F/F* actions, O(1e5) at scale).
 
 :class:`OverlappedMatvecRunner` executes a batch of matvecs with real
-numerics and models the two schedules:
+numerics and charges both schedules on the shared event timeline
+(:class:`~repro.util.timing.Timeline`): the device's matvecs ride a
+*device stream* (the engine charges its kernels onto it via
+``SimulatedDevice.on_stream``), host generate/save routines ride a
+*host stream*, and double buffering is expressed as slot barriers —
+per slot the device computes matvec ``i`` while the host generates
+vector ``i+1`` and saves result ``i-1``, and both streams join before
+the next slot (two buffers: neither side can run further ahead).  Wall
+time is the timeline's critical path:
 
-* serial:      sum_i (gen_i + matvec_i + save_i)
-* overlapped:  double-buffered — the host generates vector ``i+1`` and
-  saves result ``i-1`` while the device computes matvec ``i``; steady-
-  state cost per vector is ``max(matvec, gen + save)``.
+* serial:      ``sum_i (gen_i + matvec_i + save_i)``
+* overlapped:  ``gen_0 + sum_i max(matvec_i, host_slot_i) + save_last``
+
+The closed-form steady state — ``max(matvec, gen + save)`` per interior
+slot — is retained (``PipelineReport.closed_form_total``) as a
+cross-check on the timeline schedule; the two agree to rounding.
 
 The *blocked* schedule (:meth:`OverlappedMatvecRunner.run_blocked`)
 composes this overlap with the multi-RHS engine path: the device runs
@@ -38,6 +48,7 @@ import numpy as np
 from repro.core.matvec import FFTMatvec
 from repro.core.precision import PrecisionConfig
 from repro.util.blocking import chunk_ranges, validate_max_block_k
+from repro.util.timing import Timeline
 from repro.util.validation import ReproError
 
 __all__ = [
@@ -70,13 +81,19 @@ class HostModel:
 
 @dataclass
 class PipelineReport:
-    """Timing summary of one batch run."""
+    """Timing summary of one batch run.
+
+    ``overlapped_total`` is the event-timeline critical path;
+    ``closed_form_total`` is the analytic double-buffered steady state
+    kept as a cross-check (they agree to rounding).
+    """
 
     n_vectors: int
     device_time: float  # sum of matvec times
     host_time: float  # sum of gen+save times
     serial_total: float
     overlapped_total: float
+    closed_form_total: float = 0.0
 
     @property
     def overlap_speedup(self) -> float:
@@ -136,32 +153,51 @@ class OverlappedMatvecRunner:
         cfg = PrecisionConfig.parse(config)
         op = self.engine.rmatvec if adjoint else self.engine.matvec
 
+        # Event timeline: device matvecs on one stream, host gen/save on
+        # the other, a barrier per double-buffered slot.
+        tl = Timeline(self.engine.device.clock)
+        host = tl.stream("host")
+        dev = tl.stream("device")
+        t_start = tl.sync()
+        host.charge(self.host.gen_time)  # prologue: generate vector 0
+        dev.wait(host.record("gen[0]"))
+
         outputs: List[np.ndarray] = []
         matvec_times: List[float] = []
         for i, v in enumerate(inputs):
-            out = op(v, config=cfg)
+            with self.engine.device.on_stream(dev):
+                out = op(v, config=cfg)
             assert self.engine.last_timing is not None
             matvec_times.append(self.engine.last_timing.total)
+            # Steady-state host slot: generate i+1 and save i-1 (the
+            # classic per-vector model charges gen+save every slot).
+            host.charge(self.host.per_vector)
+            e_dev, e_host = dev.record(f"matvec[{i}]"), host.record()
+            dev.wait(e_host)
+            host.wait(e_dev)
             if sink is not None:
                 sink(i, out)
             outputs.append(out)
+        host.charge(self.host.save_time)  # epilogue: save the last result
+        overlapped_total = tl.sync() - t_start
 
         n = len(inputs)
         device_time = float(sum(matvec_times))
         host_time = n * self.host.per_vector
         serial_total = device_time + host_time
-        # Double buffering: prologue generates the first vector, epilogue
-        # saves the last; in between each slot costs the slower side.
-        steady = sum(
-            max(t, self.host.per_vector) for t in matvec_times
+        # Closed-form cross-check: per slot the slower side wins.
+        closed_form = (
+            self.host.gen_time
+            + sum(max(t, self.host.per_vector) for t in matvec_times)
+            + self.host.save_time
         )
-        overlapped_total = self.host.gen_time + steady + self.host.save_time
         report = PipelineReport(
             n_vectors=n,
             device_time=device_time,
             host_time=host_time,
             serial_total=serial_total,
             overlapped_total=overlapped_total,
+            closed_form_total=closed_form,
         )
         return outputs, report
 
@@ -194,44 +230,62 @@ class OverlappedMatvecRunner:
             )
         op = self.engine.rmatmat if adjoint else self.engine.matmat
         ranges = chunk_ranges(VV.shape[2], validate_max_block_k(max_block_k))
+        widths = [j1 - j0 for j0, j1 in ranges]
+        n_blocks = len(ranges)
+
+        # Chunk-granular double buffering on the timeline: while the
+        # device runs chunk i, the host generates chunk i+1 and saves
+        # chunk i-1 (boundary slots drop the missing neighbour, so host
+        # work across prologue + slots + epilogue sums to exactly the
+        # serial host time and overlap can never lose to serial).
+        tl = Timeline(self.engine.device.clock)
+        host = tl.stream("host")
+        dev = tl.stream("device")
+        t_start = tl.sync()
+        host.charge(widths[0] * self.host.gen_time)  # prologue: chunk 0
+        dev.wait(host.record("gen[0]"))
 
         out = np.empty((self.engine.nt, ny, VV.shape[2]))
         block_times: List[float] = []
-        block_widths: List[int] = []
-        for j0, j1 in ranges:
-            res = op(VV[:, :, j0:j1], config=cfg)
+        for i, (j0, j1) in enumerate(ranges):
+            with self.engine.device.on_stream(dev):
+                res = op(VV[:, :, j0:j1], config=cfg)
             assert self.engine.last_timing is not None
             block_times.append(self.engine.last_timing.total)
-            block_widths.append(j1 - j0)
+            host_slot = 0.0
+            if i + 1 < n_blocks:
+                host_slot += widths[i + 1] * self.host.gen_time
+            if i > 0:
+                host_slot += widths[i - 1] * self.host.save_time
+            host.charge(host_slot)
+            e_dev, e_host = dev.record(f"matmat[{i}]"), host.record()
+            dev.wait(e_host)
+            host.wait(e_dev)
             if sink is not None:
                 for j in range(j0, j1):
                     sink(j, res[:, :, j - j0])
             out[:, :, j0:j1] = res
+        host.charge(widths[-1] * self.host.save_time)  # epilogue
+        overlapped_total = tl.sync() - t_start
 
         k = VV.shape[2]
         device_time = float(sum(block_times))
         host_time = k * self.host.per_vector
         serial_total = device_time + host_time
-        # Double buffering at chunk granularity: while the device runs
-        # chunk i the host generates chunk i+1 and saves chunk i-1 (the
-        # first/last slots drop the missing neighbour, so the host work
-        # across prologue + slots + epilogue sums to exactly the serial
-        # host time and overlap can never lose to the serial schedule).
-        # For uniform interior slots this is the steady state
-        # max(matmat_k, k_chunk * (gen + save)).
-        n_blocks = len(block_times)
+        # Closed-form steady state, kept as a cross-check: for uniform
+        # interior slots, max(matmat_k, k_chunk * (gen + save)).
         steady = 0.0
         for i, t in enumerate(block_times):
             host_slot = 0.0
             if i + 1 < n_blocks:
-                host_slot += block_widths[i + 1] * self.host.gen_time
+                host_slot += widths[i + 1] * self.host.gen_time
             if i > 0:
-                host_slot += block_widths[i - 1] * self.host.save_time
+                host_slot += widths[i - 1] * self.host.save_time
             steady += max(t, host_slot)
-        overlapped_total = (
-            block_widths[0] * self.host.gen_time
+        closed_form = (
+            widths[0] * self.host.gen_time
             + steady
-            + block_widths[-1] * self.host.save_time
+            + widths[-1] * self.host.save_time
         )
         report = BlockedPipelineReport(
             n_vectors=k,
@@ -239,6 +293,7 @@ class OverlappedMatvecRunner:
             host_time=host_time,
             serial_total=serial_total,
             overlapped_total=overlapped_total,
+            closed_form_total=closed_form,
             n_blocks=len(ranges),
             max_block_k=max_block_k,
         )

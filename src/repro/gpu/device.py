@@ -6,18 +6,25 @@ It owns a :class:`~repro.util.timing.SimClock` and a
 :class:`~repro.gpu.memory.DeviceAllocator`, validates kernel geometry,
 and converts kernel traffic into simulated time through the bandwidth
 model.
+
+Time is charged to the clock directly (serial execution), or — when a
+caller supplies a :class:`~repro.util.timing.Stream` via
+:meth:`SimulatedDevice.on_stream` — onto that stream's cursor, so a
+timeline scheduler can overlap device work with communication or host
+routines and realize only the critical path as wall time.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.gpu.bandwidth import kernel_time, memcpy_time, stream_efficiency
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.memory import DeviceAllocator
 from repro.gpu.specs import GPUSpec, get_gpu
-from repro.util.timing import SimClock
+from repro.util.timing import SimClock, Stream
 
 __all__ = ["SimulatedDevice", "LaunchRecord"]
 
@@ -67,6 +74,30 @@ class SimulatedDevice:
         self.stats = DeviceStats()
         self._record = record_launches
         self.launch_log: List[LaunchRecord] = []
+        self.stream: Optional[Stream] = None
+
+    # -- stream routing ---------------------------------------------------
+    @contextlib.contextmanager
+    def on_stream(self, stream: Optional[Stream]) -> Iterator[None]:
+        """Charge all work inside the block onto ``stream``.
+
+        Phase attribution still lands on the clock (streams attribute at
+        charge time); only the wall-time accounting moves to the stream,
+        to be realized at the owning timeline's next sync.  ``None``
+        restores direct clock charging.
+        """
+        prev = self.stream
+        self.stream = stream
+        try:
+            yield
+        finally:
+            self.stream = prev
+
+    def _advance(self, seconds: float) -> None:
+        if self.stream is not None:
+            self.stream.charge(seconds)
+        else:
+            self.clock.advance(seconds)
 
     # -- memory ----------------------------------------------------------
     def malloc(self, nbytes: int, tag: str = ""):
@@ -89,7 +120,7 @@ class SimulatedDevice:
             t = 10e-6 + float(nbytes) / 64e9
         else:
             raise ValueError(f"unknown memcpy kind {kind!r}")
-        self.clock.advance(t)
+        self._advance(t)
         return t
 
     # -- kernels ---------------------------------------------------------
@@ -106,7 +137,7 @@ class SimulatedDevice:
         else:
             eff = stream_efficiency(kernel.bytes_moved, self.spec)
         t = kernel_time(kernel.bytes_moved, self.spec, eff)
-        self.clock.advance(t)
+        self._advance(t)
         self.stats.launches += 1
         self.stats.bytes_moved += kernel.bytes_moved
         self.stats.kernel_seconds += t

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.precision import PrecisionConfig
 from repro.inverse.bayes import LinearBayesianProblem
+from repro.util.blocking import chunk_ranges, validate_max_block_k
 from repro.util.validation import ReproError, check_positive_int
 
 __all__ = ["LowRankPosterior", "randomized_eig"]
@@ -40,6 +41,7 @@ def randomized_eig(
     power_iters: int = 1,
     rng: Optional[np.random.Generator] = None,
     block_operator=None,
+    max_block_k: Optional[int] = None,
 ):
     """Randomized symmetric eigendecomposition of a PSD operator.
 
@@ -52,6 +54,14 @@ def randomized_eig(
     power iterations and projection then each cost a single blocked
     application (FFTMatvec's multi-RHS pipeline) instead of j vector
     actions.  ``operator`` may be None in that case.
+
+    ``max_block_k`` chunks every blocked application through
+    :func:`repro.util.blocking.chunk_ranges` — ``ceil(j / max_block_k)``
+    calls of at most ``max_block_k`` columns each — bounding the
+    engine-side workspace exactly like the grid engine's knob (None =
+    one full-width block, the historical behaviour).  Chunk boundaries
+    only regroup GEMM panels, so results match the full-width block to
+    rounding.
     """
     check_positive_int(n, "n")
     check_positive_int(rank, "rank")
@@ -59,11 +69,19 @@ def randomized_eig(
         raise ReproError(f"rank {rank} exceeds dimension {n}")
     if operator is None and block_operator is None:
         raise ReproError("need operator or block_operator")
+    max_block_k = validate_max_block_k(max_block_k)
     rng = rng if rng is not None else np.random.default_rng(0)
     k = min(n, rank + max(oversample, 0))
 
     if block_operator is not None:
-        apply_mat = block_operator
+        if max_block_k is None:
+            apply_mat = block_operator
+        else:
+            def apply_mat(M: np.ndarray) -> np.ndarray:
+                out = np.empty_like(M, dtype=np.float64)
+                for j0, j1 in chunk_ranges(M.shape[1], max_block_k):
+                    out[:, j0:j1] = block_operator(M[:, j0:j1])
+                return out
     else:
         def apply_mat(M: np.ndarray) -> np.ndarray:
             return np.column_stack([operator(M[:, j]) for j in range(M.shape[1])])
@@ -112,6 +130,7 @@ class LowRankPosterior:
         power_iters: int = 1,
         rng: Optional[np.random.Generator] = None,
         blocked: bool = True,
+        max_block_k: Optional[int] = None,
     ) -> "LowRankPosterior":
         """Randomized eigendecomposition of Ht with FFT matvec actions.
 
@@ -119,7 +138,9 @@ class LowRankPosterior:
         stage applies Ht to all probe vectors through *one*
         ``matmat``/``rmatmat`` pipeline pass; ``blocked=False`` keeps
         the historical one-vector-at-a-time path (same numbers, k times
-        the pipeline overhead).
+        the pipeline overhead).  ``max_block_k`` chunks each blocked
+        stage into ``ceil(width / max_block_k)`` passes to bound the
+        engine workspace (matches the grid engine's knob).
         """
         cfg = PrecisionConfig.parse(config)
         nt, nm = problem.p2o.nt, problem.p2o.nm
@@ -153,6 +174,7 @@ class LowRankPosterior:
             power_iters=power_iters,
             rng=rng,
             block_operator=ht_block_action if blocked else None,
+            max_block_k=max_block_k if blocked else None,
         )
         return cls(
             problem=problem,
@@ -193,6 +215,7 @@ class LowRankPosterior:
         self,
         rng: Optional[np.random.Generator] = None,
         n_samples: Optional[int] = None,
+        max_block_k: Optional[int] = None,
     ) -> np.ndarray:
         """Draw zero-mean posterior samples (add the MAP point for full
         posterior draws).
@@ -201,9 +224,13 @@ class LowRankPosterior:
         Gp^{1/2} (I + V diag(1/sqrt(1+lam) - 1) V^T) z  with z ~ N(0, I).
 
         With ``n_samples=None`` one (nt, nm) draw is returned (historical
-        behaviour); with ``n_samples=k`` the k draws are generated as one
-        (nt, nm, k) block — the low-rank correction becomes a single
-        matrix-matrix product over all draws.
+        behaviour); with ``n_samples=k`` the k draws are generated as a
+        (nt, nm, k) block — the low-rank correction is a matrix-matrix
+        product over the draws.  ``max_block_k`` processes the draws in
+        chunks of at most that many columns (``ceil(k / max_block_k)``
+        correction + prior-sqrt passes), bounding the workspace without
+        changing the random stream: all k standard-normal draws are
+        generated up front, chunking only regroups the GEMM panels.
         """
         rng = rng if rng is not None else np.random.default_rng()
         nt, nm = self.problem.p2o.nt, self.problem.p2o.nm
@@ -211,10 +238,18 @@ class LowRankPosterior:
         k = 1 if single else int(n_samples)
         if k < 1:
             raise ReproError(f"n_samples must be >= 1, got {n_samples}")
+        max_block_k = validate_max_block_k(max_block_k)
         Z = rng.standard_normal((nt * nm, k))
         scale = 1.0 / np.sqrt(1.0 + self.eigenvalues) - 1.0
-        Z = Z + self.eigenvectors @ (scale[:, None] * (self.eigenvectors.T @ Z))
-        out = self.problem.prior.apply_sqrt_block(Z.reshape(nt, nm, k))
+        out = np.empty((nt, nm, k))
+        for j0, j1 in chunk_ranges(k, max_block_k):
+            Zc = Z[:, j0:j1]
+            Zc = Zc + self.eigenvectors @ (
+                scale[:, None] * (self.eigenvectors.T @ Zc)
+            )
+            out[:, :, j0:j1] = self.problem.prior.apply_sqrt_block(
+                Zc.reshape(nt, nm, j1 - j0)
+            )
         return out[:, :, 0] if single else out
 
     def posterior_covariance_action(self, m: np.ndarray) -> np.ndarray:

@@ -6,12 +6,20 @@ reorder), one batched IFFT, one unpad kernel.  A consistency test
 (``tests/perf/test_phase_model.py``) runs the real engine on a simulated
 device and asserts this model reproduces the charged phase times,
 so figure benches can trust it at paper scale.
+
+:func:`overlapped_chunk_schedule` extends the model to the event
+timeline: given per-chunk broadcast / compute / reduce costs, it replays
+the grid engine's double-buffered schedule (prefetch chunk ``i+1``'s
+broadcast behind chunk ``i``'s compute, reduce behind chunk ``i+1``'s
+compute) on the same :class:`~repro.util.timing.Timeline` machinery the
+engine charges with, so analytic predictions and charged times cannot
+drift apart.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Union
+from typing import Dict, Sequence, Union
 
 from repro.blas.dispatch import SBGEMVDispatcher
 from repro.blas.gemv_kernels import RocblasSBGEMV
@@ -21,10 +29,72 @@ from repro.fft.plan import _STAGES_PER_PASS
 from repro.gpu.bandwidth import kernel_time, stream_efficiency
 from repro.gpu.specs import GPUSpec
 from repro.util.dtypes import Precision, complex_dtype, real_dtype
-from repro.util.timing import TimingReport
-from repro.util.validation import check_positive_int
+from repro.util.timing import Timeline, TimingReport
+from repro.util.validation import ReproError, check_positive_int
 
-__all__ = ["phase_times", "modeled_timing", "fft_traffic_bytes"]
+__all__ = [
+    "phase_times",
+    "modeled_timing",
+    "fft_traffic_bytes",
+    "overlapped_chunk_schedule",
+]
+
+
+def overlapped_chunk_schedule(
+    chunk_bcast: Sequence[float],
+    chunk_compute: Sequence[float],
+    chunk_reduce: Sequence[float],
+    overlap_efficiency: float = 1.0,
+) -> Dict[str, float]:
+    """Wall times of the serial vs double-buffered grid chunk schedule.
+
+    Mirrors ``ParallelFFTMatvec._matmat_overlapped``: comm stream runs
+    ``bcast(0), bcast(1), reduce(0), bcast(2), reduce(1), …``; the
+    compute stream waits on each chunk's broadcast event; each reduce
+    waits on its chunk's compute event.  ``overlap_efficiency < 1``
+    charges the exposed remainder of every *overlapped* collective —
+    the prefetched broadcasts and the interior reduces — onto the
+    compute stream (link contention), so at efficiency 0 the schedule
+    converges back to the serial charge.  Returns ``{"serial",
+    "overlapped", "hidden"}`` — ``hidden`` is the saving.
+    """
+    n = len(chunk_compute)
+    if not (n == len(chunk_bcast) == len(chunk_reduce)):
+        raise ReproError(
+            "chunk_bcast, chunk_compute and chunk_reduce must have equal length"
+        )
+    if n == 0:
+        return {"serial": 0.0, "overlapped": 0.0, "hidden": 0.0}
+    exposed = max(0.0, min(1.0, 1.0 - overlap_efficiency))
+    tl = Timeline()
+    comm = tl.stream("comm")
+    comp = tl.stream("compute")
+    comm.charge(chunk_bcast[0])
+    ev_bcast = comm.record()
+    reduce_tax = 0.0  # exposed share of the previous chunk's reduce
+    for i in range(n):
+        comp.wait(ev_bcast)
+        if reduce_tax > 0.0:
+            comp.charge(reduce_tax)
+        comp.charge(chunk_compute[i])
+        if i + 1 < n:
+            comm.charge(chunk_bcast[i + 1])
+            ev_bcast = comm.record()
+            if exposed > 0.0:
+                comp.charge(exposed * chunk_bcast[i + 1])
+        ev_compute = comp.record()
+        comm.wait(ev_compute)
+        comm.charge(chunk_reduce[i])
+        reduce_tax = exposed * chunk_reduce[i] if i + 1 < n else 0.0
+    overlapped = tl.sync()
+    serial = float(
+        sum(chunk_bcast) + sum(chunk_compute) + sum(chunk_reduce)
+    )
+    return {
+        "serial": serial,
+        "overlapped": overlapped,
+        "hidden": serial - overlapped,
+    }
 
 
 def fft_traffic_bytes(n: int, batch: int, precision: Precision, forward: bool) -> float:

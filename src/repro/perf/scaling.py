@@ -20,6 +20,7 @@ Eq. (6) bound is printed alongside for comparison.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
@@ -28,17 +29,71 @@ from repro.comm.netmodel import FRONTIER_NETWORK, NetworkModel
 from repro.comm.partition import published_frontier_rows
 from repro.core.precision import PrecisionConfig
 from repro.gpu.specs import GPUSpec, MI250X_GCD
-from repro.perf.phase_model import phase_times
+from repro.perf.phase_model import overlapped_chunk_schedule, phase_times
+from repro.util.blocking import chunk_ranges
 from repro.util.dtypes import real_dtype
-from repro.util.validation import check_positive_int
+from repro.util.validation import ReproError, check_positive_int
 
-__all__ = ["ScalingPoint", "matvec_time_at_scale", "scaling_sweep", "paper_config_for"]
+__all__ = [
+    "ScalingPoint",
+    "matvec_time_at_scale",
+    "blocked_matvec_time_at_scale",
+    "scaling_sweep",
+    "paper_config_for",
+]
 
 
 def paper_config_for(p: int) -> str:
     """The paper's optimal mixed config per GPU count (artifact appendix):
     ``dssdd`` below 512 GPUs, ``dssds`` at 512 and above."""
     return "dssdd" if p < 512 else "dssds"
+
+
+def _local_extents(p: int, pr: int, nm_per_gpu: int, nd: int):
+    """Shared sizing: (pc, nm_local, nd_local) of the balanced grid split."""
+    check_positive_int(p, "p")
+    check_positive_int(pr, "pr")
+    if p % pr != 0:
+        raise ValueError(f"pr={pr} must divide p={p}")
+    pc = p // pr
+    nm_global = nm_per_gpu * p
+    nm_local = -(-nm_global // pc)
+    nd_local = max(1, -(-nd // pr))
+    return pc, nm_local, nd_local
+
+
+def _grid_collective_times(
+    cfg: PrecisionConfig,
+    nm_local: int,
+    nd_local: int,
+    nt: int,
+    pr: int,
+    pc: int,
+    net: NetworkModel,
+    adjoint: bool,
+    kc: int = 1,
+):
+    """Shared comm model: (t_bcast, t_reduce) of one kc-wide chunk.
+
+    Volumes follow the phase precisions (Phase 1 in single halves the
+    broadcast; Phase 5 in single halves the reduce) and scale by the
+    chunk width; the forward broadcast goes down machine-spanning
+    columns and the reduce across contiguous rows, the adjoint swaps
+    both the payloads and the topologies.
+    """
+    bcast_bytes = nm_local * nt * real_dtype(cfg.pad).itemsize * kc
+    reduce_bytes = nd_local * nt * real_dtype(cfg.unpad).itemsize * kc
+    col_span = (pr - 1) * pc + 1
+    if adjoint:
+        # F*: broadcast data over rows (pc contiguous), reduce parameters
+        # over columns (pr machine-spanning).
+        bcast_bytes, reduce_bytes = reduce_bytes, bcast_bytes
+        t_bcast = tree_collective_time(pc, bcast_bytes, net, span=pc)
+        t_reduce = tree_collective_time(pr, reduce_bytes, net, span=col_span)
+    else:
+        t_bcast = tree_collective_time(pr, bcast_bytes, net, span=col_span)
+        t_reduce = tree_collective_time(pc, reduce_bytes, net, span=pc)
+    return t_bcast, t_reduce
 
 
 def matvec_time_at_scale(
@@ -56,36 +111,14 @@ def matvec_time_at_scale(
 
     Keys: ``compute``, ``bcast``, ``reduce``, ``total``.
     """
-    check_positive_int(p, "p")
-    check_positive_int(pr, "pr")
-    if p % pr != 0:
-        raise ValueError(f"pr={pr} must divide p={p}")
     cfg = PrecisionConfig.parse(config)
-    pc = p // pr
-    nm_global = nm_per_gpu * p
-    nm_local = -(-nm_global // pc)
-    nd_local = max(1, -(-nd // pr))
-
+    pc, nm_local, nd_local = _local_extents(p, pr, nm_per_gpu, nd)
     compute = sum(
         phase_times(nm_local, nd_local, nt, cfg, spec, adjoint=adjoint).values()
     )
-
-    # Communication volumes follow the phase precisions (Phase 1 in
-    # single halves the broadcast; Phase 5 in single halves the reduce).
-    bcast_bytes = nm_local * nt * real_dtype(cfg.pad).itemsize
-    reduce_bytes = nd_local * nt * real_dtype(cfg.unpad).itemsize
-    if adjoint:
-        # F*: broadcast data over rows (pc contiguous), reduce parameters
-        # over columns (pr machine-spanning).
-        bcast_bytes, reduce_bytes = reduce_bytes, bcast_bytes
-        t_bcast = tree_collective_time(pc, bcast_bytes, net, span=pc)
-        col_span = (pr - 1) * pc + 1
-        t_reduce = tree_collective_time(pr, reduce_bytes, net, span=col_span)
-    else:
-        col_span = (pr - 1) * pc + 1
-        t_bcast = tree_collective_time(pr, bcast_bytes, net, span=col_span)
-        t_reduce = tree_collective_time(pc, reduce_bytes, net, span=pc)
-
+    t_bcast, t_reduce = _grid_collective_times(
+        cfg, nm_local, nd_local, nt, pr, pc, net, adjoint
+    )
     return {
         "compute": compute,
         "bcast": t_bcast,
@@ -94,9 +127,98 @@ def matvec_time_at_scale(
     }
 
 
+def blocked_matvec_time_at_scale(
+    p: int,
+    pr: int,
+    config: Union[str, PrecisionConfig],
+    k: int = 16,
+    max_block_k: Optional[int] = None,
+    skew: float = 0.0,
+    nm_per_gpu: int = 5000,
+    nd: int = 100,
+    nt: int = 1000,
+    spec: GPUSpec = MI250X_GCD,
+    net: NetworkModel = FRONTIER_NETWORK,
+    adjoint: bool = False,
+) -> dict:
+    """Modeled seconds of a blocked k-RHS distributed matmat; breakdown.
+
+    The event-timeline counterpart of :func:`matvec_time_at_scale`: per
+    chunk of ``max_block_k`` columns the grid pays one broadcast (volume
+    scaled by the chunk width, one latency tree) and one reduce, and the
+    double-buffered schedule prefetches chunk ``i+1``'s broadcast behind
+    chunk ``i``'s compute (:func:`overlapped_chunk_schedule`, honoring
+    ``net.overlap_efficiency``).  ``skew`` models an irregular partition:
+    the slowest rank owns ``(1 + skew)`` times the balanced local block,
+    and — since every collective waits for the slowest rank — its
+    per-chunk compute gates the schedule.
+
+    Keys: ``serial``, ``overlapped``, ``hidden``, ``total`` (the
+    overlapped wall), ``per_vector`` (total / k), ``serial_per_vector``,
+    ``n_chunks``, ``compute``, ``bcast``, ``reduce`` (per-chunk seconds
+    of the first chunk).
+    """
+    check_positive_int(k, "k")
+    if skew < 0:
+        raise ReproError(f"skew must be >= 0, got {skew}")
+    cfg = PrecisionConfig.parse(config)
+    pc, nm_local, nd_local = _local_extents(p, pr, nm_per_gpu, nd)
+    # Irregular partition: the critical rank's local block is (1+skew)x
+    # the balanced share (capped at the global extent).
+    nm_slow = min(nm_per_gpu * p, int(math.ceil(nm_local * (1.0 + skew))))
+    nd_slow = min(nd, int(math.ceil(nd_local * (1.0 + skew))))
+    compute_vec = sum(
+        phase_times(nm_slow, nd_slow, nt, cfg, spec, adjoint=adjoint).values()
+    )
+
+    widths = [j1 - j0 for j0, j1 in chunk_ranges(k, max_block_k)]
+    chunk_bcast = []
+    chunk_compute = []
+    chunk_reduce = []
+    for kc in widths:
+        t_bcast, t_reduce = _grid_collective_times(
+            cfg, nm_slow, nd_slow, nt, pr, pc, net, adjoint, kc=kc
+        )
+        chunk_bcast.append(t_bcast)
+        chunk_reduce.append(t_reduce)
+        # Per-chunk compute: kc vectors through the blocked pipeline
+        # (charged at the per-vector rate — a conservative bound; the
+        # blocked pipeline amortizes launch overhead below it).
+        chunk_compute.append(kc * compute_vec)
+
+    sched = overlapped_chunk_schedule(
+        chunk_bcast,
+        chunk_compute,
+        chunk_reduce,
+        overlap_efficiency=net.overlap_efficiency,
+    )
+    return {
+        "serial": sched["serial"],
+        "overlapped": sched["overlapped"],
+        "hidden": sched["hidden"],
+        "total": sched["overlapped"],
+        "per_vector": sched["overlapped"] / k,
+        "serial_per_vector": sched["serial"] / k,
+        "n_chunks": len(widths),
+        "compute": chunk_compute[0],
+        "bcast": chunk_bcast[0],
+        "reduce": chunk_reduce[0],
+    }
+
+
 @dataclass(frozen=True)
 class ScalingPoint:
-    """One GPU count of the Figure-4 sweep."""
+    """One GPU count of the Figure-4 sweep.
+
+    ``time_double`` / ``time_mixed`` are the classic serial per-matvec
+    times; ``time_double_overlap`` / ``time_mixed_overlap`` are the
+    per-vector times of the double-buffered blocked schedule (k RHS,
+    chunk broadcasts prefetched behind compute), and
+    ``time_mixed_blocked_serial`` is the *same* blocked chunking charged
+    serially — the pair isolates the overlap win from the collective
+    batching PR 2 already delivered.  All three are 0.0 when the sweep
+    ran without the blocked model.
+    """
 
     p: int
     pr: int
@@ -104,10 +226,24 @@ class ScalingPoint:
     config: str
     time_double: float
     time_mixed: float
+    time_double_overlap: float = 0.0
+    time_mixed_overlap: float = 0.0
+    time_mixed_blocked_serial: float = 0.0
 
     @property
     def speedup(self) -> float:
         return self.time_double / self.time_mixed
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Blocked-serial per-vector time over the overlapped one.
+
+        Same chunking on both sides, so this is the overlap effect
+        alone, not the batching win.
+        """
+        if self.time_mixed_overlap <= 0.0:
+            return 1.0
+        return self.time_mixed_blocked_serial / self.time_mixed_overlap
 
 
 def scaling_sweep(
@@ -118,11 +254,17 @@ def scaling_sweep(
     spec: GPUSpec = MI250X_GCD,
     net: NetworkModel = FRONTIER_NETWORK,
     rows: Optional[Sequence[int]] = None,
+    k: int = 16,
+    max_block_k: Optional[int] = 4,
+    skew: float = 0.0,
 ) -> list:
     """The Figure-4 time/speedup series over GPU counts.
 
     ``rows`` overrides the per-count grid-row schedule (defaults to the
-    paper's published schedule).
+    paper's published schedule).  Each point also carries the
+    double-buffered blocked per-vector times (``k`` RHS in chunks of
+    ``max_block_k``, broadcasts prefetched behind compute, per-rank
+    ``skew`` honored) so the sweep reflects the event-timeline schedule.
     """
     points = []
     for i, p in enumerate(gpu_counts):
@@ -134,9 +276,25 @@ def scaling_sweep(
         t_m = matvec_time_at_scale(
             p, pr, cfg, nm_per_gpu, nd, nt, spec=spec, net=net
         )["total"]
+        t_do = blocked_matvec_time_at_scale(
+            p, pr, "ddddd", k=k, max_block_k=max_block_k, skew=skew,
+            nm_per_gpu=nm_per_gpu, nd=nd, nt=nt, spec=spec, net=net,
+        )["per_vector"]
+        blocked_mixed = blocked_matvec_time_at_scale(
+            p, pr, cfg, k=k, max_block_k=max_block_k, skew=skew,
+            nm_per_gpu=nm_per_gpu, nd=nd, nt=nt, spec=spec, net=net,
+        )
         points.append(
             ScalingPoint(
-                p=p, pr=pr, pc=p // pr, config=cfg, time_double=t_d, time_mixed=t_m
+                p=p,
+                pr=pr,
+                pc=p // pr,
+                config=cfg,
+                time_double=t_d,
+                time_mixed=t_m,
+                time_double_overlap=t_do,
+                time_mixed_overlap=blocked_mixed["per_vector"],
+                time_mixed_blocked_serial=blocked_mixed["serial_per_vector"],
             )
         )
     return points

@@ -17,7 +17,7 @@ from repro.util.dtypes import (
     dtype_itemsize,
     precision_of,
 )
-from repro.util.timing import SimClock, TimingReport, PhaseTimer
+from repro.util.timing import SimClock, Timeline, Stream, Event, TimingReport, PhaseTimer
 from repro.util.validation import (
     check_positive_int,
     check_in,
@@ -38,6 +38,9 @@ __all__ = [
     "dtype_itemsize",
     "precision_of",
     "SimClock",
+    "Timeline",
+    "Stream",
+    "Event",
     "TimingReport",
     "PhaseTimer",
     "check_positive_int",

@@ -1,9 +1,21 @@
-"""Simulated clock and timing reports.
+"""Simulated clock, event timeline, and timing reports.
 
 All FFTMatvec "runtimes" in this reproduction come from a simulated device
 clock: kernels and collectives *advance* the clock by their modeled cost
 (bytes moved / achieved bandwidth + launch overhead), exactly as described
 in DESIGN.md.  The clock deliberately has no relation to Python wall time.
+
+:class:`SimClock` is the serial substrate: one monotone timeline, every
+charge advances it.  :class:`Timeline` layers a stream/event model on top
+for schedules that overlap work — communication prefetch against compute,
+host routines against the device.  Work is charged onto independent
+:class:`Stream` cursors; :class:`Event` markers recorded on one stream can
+be waited on from another (``record``/``wait``, CUDA/HIP-style); and wall
+time is the *max* over stream cursors, realized on the underlying clock at
+:meth:`Timeline.sync` points.  Phase accounting stays on the shared clock
+(a stream charge attributes its phase immediately), so per-phase
+breakdowns report work done while wall time reports the critical path —
+for an overlapped schedule the phase sum deliberately exceeds the wall.
 
 :class:`TimingReport` mirrors the output of the original ``fft_matvec``
 executable, which prints per-phase timings (pad, FFT, SBGEMV, IFFT, unpad)
@@ -16,7 +28,7 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["SimClock", "PhaseTimer", "TimingReport"]
+__all__ = ["SimClock", "Timeline", "Stream", "Event", "PhaseTimer", "TimingReport"]
 
 
 class SimClock:
@@ -43,9 +55,33 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
         self._now += seconds
-        if self._phase_stack:
-            name = self._phase_stack[-1]
+        self.attribute(seconds)
+
+    def attribute(self, seconds: float, phase: Optional[str] = None) -> None:
+        """Attribute seconds to phase accounting *without* advancing time.
+
+        Streams use this: work charged onto a stream is phase-attributed
+        when charged, while wall time advances only at timeline sync
+        points.  ``phase=None`` attributes to the innermost open phase
+        (no-op when none is open).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot attribute negative time {seconds}")
+        name = phase if phase is not None else (
+            self._phase_stack[-1] if self._phase_stack else None
+        )
+        if name is not None:
             self._phase_totals[name] = self._phase_totals.get(name, 0.0) + seconds
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to an absolute time (no phase attribution).
+
+        Used by :meth:`Timeline.sync`: the jump to the maximum stream
+        cursor is elapsed wall time, not attributable work.  Backward
+        moves are ignored (the clock is monotone).
+        """
+        if when > self._now:
+            self._now = when
 
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -72,6 +108,111 @@ class SimClock:
         """Reset absolute time and phase accounting."""
         self._now = 0.0
         self._phase_totals.clear()
+
+
+@dataclass(frozen=True)
+class Event:
+    """A point on a stream's timeline (cursor value at :meth:`Stream.record`).
+
+    Events are immutable once recorded; waiting on one from another
+    stream models a cross-stream dependency (the waiter cannot proceed
+    before the recorded work completes).
+    """
+
+    time: float
+    stream: str = ""
+    label: str = ""
+
+
+class Stream:
+    """An in-order work queue with its own completion cursor.
+
+    Work charged onto a stream completes at ``cursor`` (absolute
+    simulated seconds); charges are serialized in call order, mirroring
+    a HIP/CUDA stream.  The cursor starts at the shared clock's current
+    time when the stream is created — a fresh stream is idle "now",
+    independent of work other streams already have in flight (create
+    streams before charging, or ``wait`` on an event, to order against
+    them).
+    """
+
+    def __init__(self, timeline: "Timeline", name: str) -> None:
+        self.timeline = timeline
+        self.name = name
+        self.cursor = timeline.clock.now
+
+    def charge(self, seconds: float, phase: Optional[str] = None) -> float:
+        """Enqueue ``seconds`` of work; returns the new cursor.
+
+        The phase is attributed on the shared clock immediately (work
+        accounting); wall time advances only at :meth:`Timeline.sync`.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds}")
+        self.cursor += seconds
+        self.timeline.clock.attribute(seconds, phase)
+        return self.cursor
+
+    def record(self, label: str = "") -> Event:
+        """Mark the completion point of all work charged so far."""
+        ev = Event(time=self.cursor, stream=self.name, label=label)
+        self.timeline.events.append(ev)
+        return ev
+
+    def wait(self, event: Event) -> float:
+        """Stall this stream until ``event`` completes; returns the cursor."""
+        if event.time > self.cursor:
+            self.cursor = event.time
+        return self.cursor
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Stream({self.name!r}, t={self.cursor:.6f}s)"
+
+
+class Timeline:
+    """A set of concurrent streams over one shared :class:`SimClock`.
+
+    The timeline realizes the overlap semantics of the paper's Sec.
+    4.2.2 schedules: independent streams accumulate work concurrently,
+    cross-stream ``record``/``wait`` edges express dependencies, and the
+    wall time observed on the clock at a :meth:`sync` point is the
+    maximum stream cursor — the critical path through the schedule, not
+    the sum of the work.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.streams: Dict[str, Stream] = {}
+        self.events: List[Event] = []
+
+    def stream(self, name: str) -> Stream:
+        """Get or create the named stream (cursor starts at clock.now)."""
+        if name not in self.streams:
+            self.streams[name] = Stream(self, name)
+        return self.streams[name]
+
+    @property
+    def frontier(self) -> float:
+        """Latest completion time across all streams (>= clock.now)."""
+        cursors = [s.cursor for s in self.streams.values()]
+        return max([self.clock.now] + cursors)
+
+    def sync(self) -> float:
+        """Join every stream: advance the clock to the frontier.
+
+        All stream cursors are pulled up to the synchronized time (a
+        barrier), so work charged afterwards starts from a common
+        origin.  Returns the synchronized wall time.
+        """
+        now = self.frontier
+        self.clock.advance_to(now)
+        for s in self.streams.values():
+            s.cursor = now
+        return now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(self.streams) or "no streams"
+        return f"Timeline({names}; t={self.frontier:.6f}s)"
 
 
 @dataclass
@@ -111,6 +252,11 @@ class TimingReport:
         One-time costs outside the performance-critical loop.
     reps:
         Number of repetitions averaged into ``phases``.
+    wall:
+        Elapsed wall time of the call, when it differs from the phase
+        sum: an overlapped schedule hides communication behind compute,
+        so ``wall < total`` while ``phases`` still reports every second
+        of work charged.  ``None`` for serial schedules (wall == total).
     """
 
     phases: Dict[str, float] = field(default_factory=dict)
@@ -118,11 +264,17 @@ class TimingReport:
     cleanup: float = 0.0
     reps: int = 1
     label: str = ""
+    wall: Optional[float] = None
 
     @property
     def total(self) -> float:
         """Sum of all per-phase times (one matvec)."""
         return float(sum(self.phases.values()))
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time of the call: ``wall`` when set, else the phase sum."""
+        return self.wall if self.wall is not None else self.total
 
     def phase(self, name: str) -> float:
         """Seconds attributed to one phase (0.0 if absent)."""
@@ -141,6 +293,7 @@ class TimingReport:
             cleanup=self.cleanup * factor,
             reps=self.reps,
             label=self.label,
+            wall=self.wall * factor if self.wall is not None else None,
         )
 
     def merged(self, other: "TimingReport") -> "TimingReport":
@@ -148,12 +301,17 @@ class TimingReport:
         phases = dict(self.phases)
         for k, v in other.phases.items():
             phases[k] = phases.get(k, 0.0) + v
+        # A report without an explicit wall contributes its phase sum
+        # (wall == total for serial schedules), so mixing serial and
+        # overlapped reports keeps the combined wall honest.
+        any_wall = self.wall is not None or other.wall is not None
         return TimingReport(
             phases=phases,
             setup=self.setup + other.setup,
             cleanup=self.cleanup + other.cleanup,
             reps=self.reps + other.reps,
             label=self.label or other.label,
+            wall=self.elapsed + other.elapsed if any_wall else None,
         )
 
     def averaged(self) -> "TimingReport":
@@ -165,6 +323,7 @@ class TimingReport:
             cleanup=self.cleanup,
             reps=1,
             label=self.label,
+            wall=self.wall / n if self.wall is not None else None,
         )
 
     def lines(self, raw: bool = False) -> List[str]:

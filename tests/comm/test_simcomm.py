@@ -113,3 +113,62 @@ class TestAccounting:
     def test_span_defaults_to_size(self):
         assert SimCommunicator(8).span == 8
         assert SimCommunicator(8, span=100).span == 100
+
+
+class TestOpAccounting:
+    def test_per_op_bytes_tracked(self, comm, rng):
+        comm.bcast(np.zeros(4))  # 32 bytes to 3 peers
+        comm.reduce([rng.standard_normal(2)] * 4)  # 16 bytes from 3 peers
+        assert comm.op_bytes["bcast"] == pytest.approx(32.0 * 3)
+        assert comm.op_bytes["reduce"] == pytest.approx(16.0 * 3)
+        assert comm.op_bytes["allreduce"] == 0.0
+        assert comm.bytes_communicated == pytest.approx(
+            sum(comm.op_bytes.values())
+        )
+
+    def test_allreduce_counts_both_trees(self, comm, rng):
+        comm.allreduce([rng.standard_normal(2)] * 4)
+        assert comm.op_counts["allreduce"] == 1
+        assert comm.op_bytes["allreduce"] == pytest.approx(2 * 16.0 * 3)
+
+    def test_reset_op_counts(self, comm, rng):
+        comm.bcast(np.zeros(8))
+        comm.reduce([rng.standard_normal(4)] * 4)
+        t_before = comm.clock.now
+        comm.reset_op_counts()
+        assert comm.collective_calls == 0
+        assert comm.bytes_communicated == 0.0
+        assert all(v == 0 for v in comm.op_counts.values())
+        assert all(v == 0.0 for v in comm.op_bytes.values())
+        # The clock is untouched: only the traffic counters reset.
+        assert comm.clock.now == t_before
+        comm.bcast(np.zeros(8))
+        assert comm.op_counts["bcast"] == 1
+
+
+class TestStreamCharging:
+    def test_on_stream_charges_stream_not_clock(self, comm, rng):
+        from repro.util.timing import Timeline
+
+        tl = Timeline(comm.clock)
+        s = tl.stream("comm")
+        t0 = comm.clock.now
+        with comm.on_stream(s):
+            comm.bcast(np.zeros(1024), phase="pad")
+        assert comm.clock.now == t0  # wall advances only at sync
+        assert s.cursor > t0
+        assert comm.clock.phase_total("pad") > 0  # work attributed now
+        tl.sync()
+        assert comm.clock.now == pytest.approx(s.cursor)
+
+    def test_stream_restored_after_block(self, comm):
+        from repro.util.timing import Timeline
+
+        s = Timeline(comm.clock).stream("comm")
+        with comm.on_stream(s):
+            assert comm.stream is s
+        assert comm.stream is None
+        # Back to direct clock charging.
+        t0 = comm.clock.now
+        comm.bcast(np.zeros(1024))
+        assert comm.clock.now > t0

@@ -129,8 +129,27 @@ class TestTimingAndComm:
         assert eng.engines[(0, 0)].nd == 2  # 4 sensors / 2 rows
         assert eng.engines[(0, 0)].nm == 8  # 24 params / 3 cols
 
-    def test_only_rank00_has_device(self):
+    def test_every_rank_has_private_device(self):
+        # Per-rank skew: each rank measures compute on its own clock,
+        # and those clocks are not the shared grid clock (the grid
+        # charges the max over ranks at collective boundaries).
         eng, _, _ = make(pr=2, pc=2, spec=MI250X_GCD)
-        assert eng.engines[(0, 0)].device is not None
-        assert eng.engines[(0, 1)].device is None
-        assert eng.engines[(1, 1)].device is None
+        for rc in ((0, 0), (0, 1), (1, 1)):
+            assert eng.engines[rc].device is not None
+            assert eng.engines[rc].device.clock is not eng.grid.clock
+        assert eng.device is eng.engines[(0, 0)].device
+
+    def test_balanced_ranks_tie(self):
+        # On a balanced partition every rank's private clock charges the
+        # identical compute time, so max-over-ranks == one rank's time.
+        eng, _, rng = make(nd=4, nm=24, pr=2, pc=2, spec=MI250X_GCD)
+        eng.matvec(rng.standard_normal((16, 24)))
+        totals = {
+            rc: sum(
+                dev.clock.phase_total(p)
+                for p in ("pad", "fft", "sbgemv", "ifft", "unpad")
+            )
+            for rc, dev in eng.devices.items()
+        }
+        vals = list(totals.values())
+        assert all(v == vals[0] for v in vals)

@@ -90,6 +90,18 @@ class TestRunner:
         outputs, _ = runner.run(inputs, adjoint=True)
         assert outputs[0].shape == (16, 24)
 
+    def test_timeline_matches_closed_form(self, engine, rng):
+        # The event-timeline schedule and the analytic double-buffered
+        # steady state are independent derivations of the same overlap;
+        # they must agree (to float regrouping) for any host model.
+        for gen, save in ((1e-9, 1e-9), (5e-3, 5e-3), (20e-6, 80e-6)):
+            runner = OverlappedMatvecRunner(engine, HostModel(gen, save))
+            inputs = [rng.standard_normal((16, 24)) for _ in range(6)]
+            _, report = runner.run(inputs)
+            assert report.overlapped_total == pytest.approx(
+                report.closed_form_total, rel=1e-12
+            )
+
 
 class TestBlockedRunner:
     def test_outputs_match_direct_matmat(self, engine, rng):
@@ -126,6 +138,19 @@ class TestBlockedRunner:
         # prologue 3*gen + slot0 3*gen + slot1 3*save + epilogue 3*save
         expected = 3 * 5e-3 + 3 * 5e-3 + 3 * 5e-3 + 3 * 5e-3
         assert report.overlapped_total == pytest.approx(expected, rel=1e-6)
+
+    def test_blocked_timeline_matches_closed_form(self, engine, rng):
+        # The satellite cross-check: run_blocked's timeline wall equals
+        # its closed-form steady state max(matmat_k, k*(gen+save)) with
+        # boundary slots dropping the missing neighbour.
+        V = rng.standard_normal((16, 24, 10))
+        for gen, save in ((1e-9, 1e-9), (5e-3, 5e-3), (20e-6, 80e-6)):
+            runner = OverlappedMatvecRunner(engine, HostModel(gen, save))
+            for mbk in (None, 3, 4):
+                _, report = runner.run_blocked(V, max_block_k=mbk)
+                assert report.overlapped_total == pytest.approx(
+                    report.closed_form_total, rel=1e-12
+                )
 
     def test_overlap_never_loses_to_serial(self, engine, rng):
         # max(a, b) <= a + b per slot and host work sums to the serial

@@ -140,3 +140,73 @@ class TestLowRankPosterior:
         np.testing.assert_allclose(
             pd.eigenvalues, ps.eigenvalues, rtol=1e-4, atol=1e-8
         )
+
+
+class TestChunkedBlockedPath:
+    def test_eig_chunked_matches_full_width(self, problem):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        full = LowRankPosterior.compute(
+            problem, rank=8, rng=rng_a, power_iters=1
+        )
+        chunked = LowRankPosterior.compute(
+            problem, rank=8, rng=rng_b, power_iters=1, max_block_k=5
+        )
+        # Chunk boundaries only regroup GEMM panels: same spectrum to
+        # rounding, same number of Hessian actions.
+        np.testing.assert_allclose(
+            chunked.eigenvalues, full.eigenvalues, rtol=1e-9, atol=1e-12
+        )
+        assert chunked.hessian_actions == full.hessian_actions
+
+    def test_eig_chunk_count(self, problem):
+        # rank 8 + oversample 10 = 18 probes -> ceil(18/5) = 4 matmat
+        # passes per stage instead of 1 full-width pass.
+        passes = {}
+        for mbk in (None, 5):
+            eng = problem.p2o.engine
+            before = eng.matmat_count
+            LowRankPosterior.compute(
+                problem,
+                rank=8,
+                rng=np.random.default_rng(1),
+                power_iters=0,
+                max_block_k=mbk,
+            )
+            passes[mbk] = eng.matmat_count - before
+        assert passes[5] == 4 * passes[None]
+
+    def test_randomized_eig_chunked(self, rng):
+        n = 40
+        A = rng.standard_normal((n, 12))
+        H = A @ A.T  # PSD, rank 12
+        lam_full, V_full = randomized_eig(
+            None, n, 10, rng=np.random.default_rng(2), block_operator=lambda M: H @ M
+        )
+        lam_chunk, V_chunk = randomized_eig(
+            None,
+            n,
+            10,
+            rng=np.random.default_rng(2),
+            block_operator=lambda M: H @ M,
+            max_block_k=4,
+        )
+        np.testing.assert_allclose(lam_chunk, lam_full, rtol=1e-9, atol=1e-11)
+
+    def test_sample_chunked_same_random_stream(self, problem):
+        # Chunking must not change the draws: all k normals are taken up
+        # front, chunks only regroup the correction GEMM panels.
+        post = LowRankPosterior.compute(
+            problem, rank=8, rng=np.random.default_rng(0)
+        )
+        full = post.sample(rng=np.random.default_rng(3), n_samples=7)
+        chunked = post.sample(
+            rng=np.random.default_rng(3), n_samples=7, max_block_k=3
+        )
+        np.testing.assert_allclose(chunked, full, rtol=1e-12, atol=1e-14)
+
+    def test_invalid_max_block_k_rejected(self, problem):
+        with pytest.raises(ReproError):
+            LowRankPosterior.compute(
+                problem, rank=4, rng=np.random.default_rng(0), max_block_k=0
+            )

@@ -122,3 +122,78 @@ class TestFFTTraffic:
         one = fft_traffic_bytes(512, 1, Precision.DOUBLE, forward=True)
         ten = fft_traffic_bytes(512, 10, Precision.DOUBLE, forward=True)
         assert ten == pytest.approx(10 * one)
+
+
+class TestOverlappedScheduleConsistency:
+    """Pin overlapped_chunk_schedule to the engine's charged schedule.
+
+    The module convention: analytic predictions must reproduce what the
+    engine actually charges.  Per-chunk costs are measured from the real
+    grid engine (timed collective formulas + a rank pipeline on a private
+    device), fed to the analytic schedule, and compared against the
+    engine's charged overlapped wall — if either schedule loop changes
+    (prefetch order, exposed-fraction tax placement) without the other,
+    this fails.
+    """
+
+    @pytest.mark.parametrize("overlap_efficiency", [1.0, 0.4])
+    def test_model_reproduces_engine_overlapped_wall(self, overlap_efficiency):
+        import numpy as np
+
+        from repro.comm.collectives import tree_collective_time
+        from repro.comm.grid import ProcessGrid
+        from repro.comm.netmodel import FRONTIER_NETWORK, NetworkModel
+        from repro.core.matvec import FFTMatvec
+        from repro.core.parallel import ParallelFFTMatvec
+        from repro.core.precision import PrecisionConfig
+        from repro.core.toeplitz import BlockTriangularToeplitz
+        from repro.gpu.device import SimulatedDevice
+        from repro.perf.phase_model import overlapped_chunk_schedule
+        from repro.util.timing import SimClock
+
+        nt, nd, nm, k, mbk, pr, pc = 16, 8, 48, 16, 4, 2, 2
+        net = NetworkModel(
+            alpha_intra=FRONTIER_NETWORK.alpha_intra,
+            alpha_inter=FRONTIER_NETWORK.alpha_inter,
+            beta_intra=FRONTIER_NETWORK.beta_intra,
+            beta_inter=FRONTIER_NETWORK.beta_inter,
+            group_size=FRONTIER_NETWORK.group_size,
+            congestion_ranks=FRONTIER_NETWORK.congestion_ranks,
+            overlap_efficiency=overlap_efficiency,
+        )
+        rng = np.random.default_rng(0)
+        matrix = BlockTriangularToeplitz.random(nt, nd, nm, rng=rng)
+        grid = ProcessGrid(pr, pc, net=net)
+        eng = ParallelFFTMatvec(matrix, grid, spec=MI300X)
+        M = rng.standard_normal((nt, nm, k))
+        t0 = grid.clock.now
+        eng.matmat(M, max_block_k=mbk, overlap=True)
+        charged = grid.clock.now - t0
+
+        # Per-chunk costs, measured independently: timed collectives at
+        # the engine's payload sizes, one rank's blocked pipeline on a
+        # private device (balanced grid: all ranks tie, chunks uniform).
+        kc = mbk
+        col_span = (pr - 1) * pc + 1
+        c0, c1 = eng._col_ranges[eng._timed_col_idx]
+        t_bcast = tree_collective_time(pr, nt * (c1 - c0) * kc * 8, net, span=col_span)
+        r0, r1 = eng._row_ranges[eng._timed_row_idx]
+        t_reduce = tree_collective_time(pc, nt * (r1 - r0) * kc * 8, net, span=pc)
+        local = FFTMatvec(
+            BlockTriangularToeplitz(matrix.blocks[:, r0:r1, c0:c1]),
+            device=SimulatedDevice(MI300X, clock=SimClock()),
+        )
+        before = local.device.clock.now
+        local._pipeline_block(
+            M[:, c0:c1, :kc], PrecisionConfig.parse("ddddd"), adjoint=False
+        )
+        t_compute = local.device.clock.now - before
+
+        n_chunks = k // mbk
+        sched = overlapped_chunk_schedule(
+            [t_bcast] * n_chunks,
+            [t_compute] * n_chunks,
+            [t_reduce] * n_chunks,
+            overlap_efficiency=overlap_efficiency,
+        )
+        assert charged == pytest.approx(sched["overlapped"], rel=1e-12)

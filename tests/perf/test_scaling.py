@@ -100,3 +100,104 @@ class TestScalingSweep:
         default = scaling_sweep(gpu_counts=(4096,))[0]
         assert default.pr == 16
         assert pts[0].time_double > default.time_double  # published beats naive
+
+
+class TestBlockedOverlappedScaling:
+    def test_overlap_never_exceeds_serial(self):
+        from repro.perf.scaling import blocked_matvec_time_at_scale
+
+        for p, pr in ((64, 1), (1024, 8), (4096, 16)):
+            d = blocked_matvec_time_at_scale(p, pr, "dssdd", k=16, max_block_k=4)
+            assert d["overlapped"] <= d["serial"] * (1 + 1e-12)
+            assert d["hidden"] >= 0.0
+            assert d["n_chunks"] == 4
+
+    def test_overlap_hides_comm_at_scale(self):
+        # At 4096 GPUs the machine-spanning broadcast is expensive;
+        # prefetching it behind chunk compute must save real time.
+        from repro.perf.scaling import blocked_matvec_time_at_scale
+
+        d = blocked_matvec_time_at_scale(4096, 16, "dssds", k=16, max_block_k=4)
+        assert d["hidden"] > 0.0
+        assert d["per_vector"] == pytest.approx(d["overlapped"] / 16)
+
+    def test_skew_increases_time(self):
+        from repro.perf.scaling import blocked_matvec_time_at_scale
+
+        base = blocked_matvec_time_at_scale(64, 1, "ddddd", k=16, max_block_k=4)
+        skew = blocked_matvec_time_at_scale(
+            64, 1, "ddddd", k=16, max_block_k=4, skew=0.5
+        )
+        assert skew["overlapped"] > base["overlapped"]
+
+    def test_sweep_carries_overlap_columns(self):
+        pts = scaling_sweep(gpu_counts=(64, 1024))
+        for pt in pts:
+            assert pt.time_mixed_overlap > 0.0
+            assert pt.overlap_speedup >= 1.0
+
+    def test_bad_args_rejected(self):
+        from repro.perf.scaling import blocked_matvec_time_at_scale
+        from repro.util.validation import ReproError
+
+        with pytest.raises(ValueError):
+            blocked_matvec_time_at_scale(64, 3, "ddddd")
+        with pytest.raises(ReproError):
+            blocked_matvec_time_at_scale(64, 1, "ddddd", skew=-1.0)
+
+
+class TestOverlappedChunkSchedule:
+    def test_compute_bound_hides_all_interior_comm(self):
+        from repro.perf.phase_model import overlapped_chunk_schedule
+
+        # x >> b + r: only bcast(0) and reduce(n-1) stay exposed.
+        sched = overlapped_chunk_schedule(
+            [1.0] * 4, [10.0] * 4, [2.0] * 4
+        )
+        assert sched["overlapped"] == pytest.approx(1.0 + 4 * 10.0 + 2.0)
+        assert sched["serial"] == pytest.approx(4 * 13.0)
+
+    def test_comm_bound_converges_to_comm_time(self):
+        from repro.perf.phase_model import overlapped_chunk_schedule
+
+        # b + r >> x: the comm stream is the critical path.
+        sched = overlapped_chunk_schedule(
+            [10.0] * 3, [0.1] * 3, [5.0] * 3
+        )
+        # comm stream: b0 b1 r0 b2 r1 r2 = 45; every compute (and its
+        # dependency edges) hides inside the comm timeline.
+        assert sched["overlapped"] == pytest.approx(45.0)
+        assert sched["overlapped"] < sched["serial"]
+
+    def test_zero_efficiency_converges_to_serial(self):
+        from repro.perf.phase_model import overlapped_chunk_schedule
+
+        free = overlapped_chunk_schedule([1.0] * 4, [10.0] * 4, [2.0] * 4)
+        taxed = overlapped_chunk_schedule(
+            [1.0] * 4, [10.0] * 4, [2.0] * 4, overlap_efficiency=0.0
+        )
+        # Every overlapped collective (3 prefetched bcasts + 3 interior
+        # reduces) is fully exposed: overlap buys nothing.
+        assert taxed["overlapped"] == pytest.approx(
+            free["overlapped"] + 3 * 1.0 + 3 * 2.0
+        )
+        assert taxed["overlapped"] == pytest.approx(taxed["serial"])
+
+    def test_half_efficiency_between_extremes(self):
+        from repro.perf.phase_model import overlapped_chunk_schedule
+
+        walls = [
+            overlapped_chunk_schedule(
+                [1.0] * 4, [10.0] * 4, [2.0] * 4, overlap_efficiency=eff
+            )["overlapped"]
+            for eff in (1.0, 0.5, 0.0)
+        ]
+        assert walls[0] < walls[1] < walls[2]
+
+    def test_empty_and_mismatched(self):
+        from repro.perf.phase_model import overlapped_chunk_schedule
+        from repro.util.validation import ReproError
+
+        assert overlapped_chunk_schedule([], [], [])["serial"] == 0.0
+        with pytest.raises(ReproError):
+            overlapped_chunk_schedule([1.0], [1.0, 2.0], [1.0])
