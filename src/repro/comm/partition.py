@@ -69,7 +69,13 @@ def matvec_comm_cost(
 
 
 def candidate_rows(p: int) -> Tuple[int, ...]:
-    """Power-of-two row counts dividing p (the shapes the paper sweeps)."""
+    """Power-of-two row counts dividing p (the shapes the paper sweeps).
+
+    >>> candidate_rows(8)
+    (1, 2, 4, 8)
+    >>> candidate_rows(12)
+    (1, 2, 4)
+    """
     check_positive_int(p, "p")
     out = []
     r = 1
@@ -110,6 +116,14 @@ def check_extents(
     The contract :class:`~repro.core.parallel.ParallelFFTMatvec` requires
     of caller-supplied row/column partitions.  Returns a normalized list
     of ``(start, stop)`` int tuples.
+
+    >>> check_extents([(0, 3), (3, 8)], 8, 2)
+    [(0, 3), (3, 8)]
+    >>> check_extents([(0, 3), (4, 8)], 8, 2)
+    Traceback (most recent call last):
+        ...
+    repro.util.validation.ReproError: extents: range 1 starts at 4, \
+expected 3 (ranges must be contiguous and ordered)
     """
     check_positive_int(n, "n")
     check_positive_int(parts, "parts")
@@ -141,6 +155,11 @@ def skewed_extents(n: int, parts: int, skew: float = 0.5) -> List[Tuple[int, int
     split evenly.  With per-rank charging, the simulator's wall time
     follows the largest part — the skew the balanced `split_extent`
     partition hides.  ``skew=0`` degenerates to the balanced split.
+
+    >>> skewed_extents(8, 2, skew=0.5)
+    [(0, 6), (6, 8)]
+    >>> skewed_extents(8, 2, skew=0.0)
+    [(0, 4), (4, 8)]
     """
     check_positive_int(n, "n")
     check_positive_int(parts, "parts")
@@ -167,6 +186,9 @@ def published_frontier_rows(p: int) -> int:
 
     One processor row for <= 512 GPUs, eight rows for 1024 and 2048
     GPUs, sixteen rows for 4096 GPUs.
+
+    >>> [published_frontier_rows(p) for p in (512, 1024, 4096)]
+    [1, 8, 16]
     """
     check_positive_int(p, "p")
     if p <= 512:

@@ -67,7 +67,7 @@ vs GEMV column-accumulation order).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -78,7 +78,7 @@ from repro.core.matvec import FFTMatvec
 from repro.core.precision import PrecisionConfig
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.gpu.device import SimulatedDevice
-from repro.gpu.specs import GPUSpec
+from repro.gpu.specs import GPUSpec, get_gpu
 from repro.util.blocking import check_block, chunk_ranges, validate_max_block_k
 from repro.util.dtypes import cast_to
 from repro.util.timing import SimClock, Stream, Timeline, TimingReport
@@ -87,6 +87,56 @@ from repro.util.validation import ReproError
 __all__ = ["ParallelFFTMatvec"]
 
 _PHASES = ("pad", "fft", "sbgemv", "ifft", "unpad")
+
+# Per-rank spec inputs the constructor accepts: one spec for the whole
+# grid, a mapping keyed by (row, col), or a pr x pc nested sequence.
+RankSpecs = Union[
+    GPUSpec,
+    str,
+    Mapping[Tuple[int, int], Union[GPUSpec, str]],
+    Sequence[Sequence[Union[GPUSpec, str]]],
+]
+
+
+def _normalize_rank_specs(
+    spec: Optional[RankSpecs], pr: int, pc: int
+) -> Dict[Tuple[int, int], Optional[GPUSpec]]:
+    """Resolve the ``spec`` argument to one (possibly None) spec per rank.
+
+    ``None`` disables timing everywhere; anything else must cover every
+    rank of the grid — a partially-instrumented grid would charge
+    meaningless maxima.
+    """
+
+    def resolve(s: Union[GPUSpec, str]) -> GPUSpec:
+        return get_gpu(s) if isinstance(s, str) else s
+
+    ranks = [(r, c) for r in range(pr) for c in range(pc)]
+    if spec is None:
+        return {rc: None for rc in ranks}
+    if isinstance(spec, (GPUSpec, str)):
+        one = resolve(spec)
+        return {rc: one for rc in ranks}
+    if isinstance(spec, Mapping):
+        missing = [rc for rc in ranks if rc not in spec]
+        if missing:
+            raise ReproError(
+                f"per-rank spec mapping missing ranks {missing} of a {pr}x{pc} grid"
+            )
+        return {rc: resolve(spec[rc]) for rc in ranks}
+    rows = []
+    for row in spec:
+        if isinstance(row, (GPUSpec, str)) or not hasattr(row, "__iter__"):
+            raise ReproError(
+                f"per-rank spec sequence must be nested — {pr} rows of "
+                f"{pc} specs — not a flat list"
+            )
+        rows.append(list(row))
+    if len(rows) != pr or any(len(row) != pc for row in rows):
+        raise ReproError(
+            f"per-rank spec sequence must be {pr} rows of {pc} specs"
+        )
+    return {(r, c): resolve(rows[r][c]) for r, c in ranks}
 
 
 class ParallelFFTMatvec:
@@ -100,9 +150,17 @@ class ParallelFFTMatvec:
         Process grid; its clock accumulates wall time (compute max +
         communication critical path).
     spec:
-        GPU architecture for the per-rank compute model.  Every rank
-        carries a device on its own clock; the wall charge between
-        collectives is the max over ranks (per-rank skew is genuine).
+        GPU architecture(s) for the per-rank compute model.  One
+        :class:`GPUSpec` (or registry name) instruments every rank
+        identically; a mapping keyed by ``(row, col)`` or a ``pr x pc``
+        nested sequence builds a *heterogeneous* grid where ranks own
+        devices of differing throughput.  Every rank carries a device on
+        its own clock; the wall charge between collectives is the max
+        over ranks (per-rank skew is genuine).
+        :meth:`rank_compute_report` harvests the per-rank clocks, and
+        :func:`repro.comm.balance.rebalance_rows` /
+        :func:`~repro.comm.balance.rebalance_cols` search new partitions
+        against them.
     max_block_k:
         Default chunk width for the blocked :meth:`matmat` /
         :meth:`rmatmat` path (None = all k columns in one chunk).
@@ -124,7 +182,7 @@ class ParallelFFTMatvec:
         self,
         matrix: Union[BlockTriangularToeplitz, np.ndarray],
         grid: ProcessGrid,
-        spec: Optional[GPUSpec] = None,
+        spec: Optional[RankSpecs] = None,
         use_optimized_sbgemv: bool = True,
         max_block_k: Optional[int] = None,
         overlap: bool = True,
@@ -162,7 +220,9 @@ class ParallelFFTMatvec:
 
         # Per-rank devices on private clocks: each rank's compute time is
         # measured independently, and collectives take the max (ranks run
-        # concurrently; the slowest gates the blocking collective).
+        # concurrently; the slowest gates the blocking collective).  A
+        # heterogeneous spec gives ranks genuinely different throughput.
+        self.rank_specs = _normalize_rank_specs(spec, grid.pr, grid.pc)
         self.devices: Dict[Tuple[int, int], Optional[SimulatedDevice]] = {}
         self.engines: Dict[Tuple[int, int], FFTMatvec] = {}
         for r in range(grid.pr):
@@ -170,9 +230,10 @@ class ParallelFFTMatvec:
             for c in range(grid.pc):
                 c0, c1 = self._col_ranges[c]
                 local = self.matrix.blocks[:, r0:r1, c0:c1]
+                rank_spec = self.rank_specs[(r, c)]
                 dev = (
-                    SimulatedDevice(spec, clock=SimClock())
-                    if spec is not None
+                    SimulatedDevice(rank_spec, clock=SimClock())
+                    if rank_spec is not None
                     else None
                 )
                 self.devices[(r, c)] = dev
@@ -216,6 +277,39 @@ class ParallelFFTMatvec:
         self.last_timing: Optional[TimingReport] = None
         self.matvec_count = 0  # logical operator actions (k per block)
         self.matmat_count = 0  # blocked pipeline passes (one per chunk)
+
+    # -- partition introspection ---------------------------------------------
+    @property
+    def row_ranges(self) -> List[Tuple[int, int]]:
+        """The sensor-axis partition: one ``(start, stop)`` per grid row."""
+        return list(self._row_ranges)
+
+    @property
+    def col_ranges(self) -> List[Tuple[int, int]]:
+        """The parameter-axis partition: one ``(start, stop)`` per grid column."""
+        return list(self._col_ranges)
+
+    # -- measurement hooks ---------------------------------------------------
+    def rank_compute_report(self) -> Dict[Tuple[int, int], float]:
+        """Per-rank compute seconds harvested from the private clocks.
+
+        Returns ``{(row, col): seconds}`` — the cumulative five-phase
+        compute time each rank's own device has charged (setup excluded).
+        On a balanced homogeneous grid all ranks tie; irregular
+        partitions or heterogeneous specs show genuine spread, and the
+        spread *is* the skew the wall pays at every collective.  This is
+        the measured input of :func:`repro.comm.balance.rebalance_rows`
+        / :func:`~repro.comm.balance.rebalance_cols`.
+        """
+        if any(d is None for d in self.devices.values()):
+            raise ReproError(
+                "rank_compute_report requires per-rank devices — construct "
+                "ParallelFFTMatvec with spec=... to measure compute"
+            )
+        return {
+            rc: sum(dev.clock.phase_total(p) for p in _PHASES)
+            for rc, dev in self.devices.items()
+        }
 
     # -- helpers ------------------------------------------------------------
     def _timed_col(self, c: int) -> SimCommunicator:

@@ -24,12 +24,17 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
+from repro.comm.balance import balance_extents, linear_cost
 from repro.comm.collectives import tree_collective_time
 from repro.comm.netmodel import FRONTIER_NETWORK, NetworkModel
 from repro.comm.partition import published_frontier_rows
 from repro.core.precision import PrecisionConfig
 from repro.gpu.specs import GPUSpec, MI250X_GCD
-from repro.perf.phase_model import overlapped_chunk_schedule, phase_times
+from repro.perf.phase_model import (
+    block_phase_times,
+    overlapped_chunk_schedule,
+    phase_times,
+)
 from repro.util.blocking import chunk_ranges
 from repro.util.dtypes import real_dtype
 from repro.util.validation import ReproError, check_positive_int
@@ -153,45 +158,97 @@ def blocked_matvec_time_at_scale(
     and — since every collective waits for the slowest rank — its
     per-chunk compute gates the schedule.
 
+    Per-chunk compute is charged through the blocked SBGEMM phase model
+    (:func:`~repro.perf.phase_model.block_phase_times` — one pad / one
+    batched FFT / one strided-batched GEMM / one inverse FFT / one unpad
+    for the whole chunk), not at ``kc`` times the per-vector rate: the
+    blocked pipeline amortizes launch overhead and the dominant spectrum
+    read, and the engine-consistency test pins the model to what the
+    engine actually charges.
+
+    When ``skew > 0`` the skew-searching partitioner
+    (:func:`repro.comm.balance.balance_extents`) rebalances the injected
+    irregularity on both grid axes, and the ``*_balanced`` keys report
+    the schedule on the searched partition — the skew the measure →
+    rebalance loop recovers at scale.
+
     Keys: ``serial``, ``overlapped``, ``hidden``, ``total`` (the
     overlapped wall), ``per_vector`` (total / k), ``serial_per_vector``,
     ``n_chunks``, ``compute``, ``bcast``, ``reduce`` (per-chunk seconds
-    of the first chunk).
+    of the first chunk), plus ``total_balanced`` /
+    ``per_vector_balanced`` — the searched partition's overlapped wall,
+    so ``total - total_balanced`` is the modeled skew the search wins
+    back (zero when ``skew == 0``; the homogeneous at-scale search
+    recovers the ceil-balanced split, so the balanced keys coincide
+    with a ``skew=0`` run — *measured* recovery on a real engine is
+    what ``benchmarks/test_balance_grid.py`` scores).
     """
     check_positive_int(k, "k")
     if skew < 0:
         raise ReproError(f"skew must be >= 0, got {skew}")
     cfg = PrecisionConfig.parse(config)
     pc, nm_local, nd_local = _local_extents(p, pr, nm_per_gpu, nd)
+    nm_global = nm_per_gpu * p
     # Irregular partition: the critical rank's local block is (1+skew)x
     # the balanced share (capped at the global extent).
-    nm_slow = min(nm_per_gpu * p, int(math.ceil(nm_local * (1.0 + skew))))
+    nm_slow = min(nm_global, int(math.ceil(nm_local * (1.0 + skew))))
     nd_slow = min(nd, int(math.ceil(nd_local * (1.0 + skew))))
-    compute_vec = sum(
-        phase_times(nm_slow, nd_slow, nt, cfg, spec, adjoint=adjoint).values()
-    )
 
-    widths = [j1 - j0 for j0, j1 in chunk_ranges(k, max_block_k)]
-    chunk_bcast = []
-    chunk_compute = []
-    chunk_reduce = []
-    for kc in widths:
-        t_bcast, t_reduce = _grid_collective_times(
-            cfg, nm_slow, nd_slow, nt, pr, pc, net, adjoint, kc=kc
+    def schedule_for(nm_rank: int, nd_rank: int) -> dict:
+        """Chunk schedule with the critical rank owning the given extents."""
+        widths = [j1 - j0 for j0, j1 in chunk_ranges(k, max_block_k)]
+        chunk_bcast, chunk_compute, chunk_reduce = [], [], []
+        for kc in widths:
+            t_bcast, t_reduce = _grid_collective_times(
+                cfg, nm_rank, nd_rank, nt, pr, pc, net, adjoint, kc=kc
+            )
+            chunk_bcast.append(t_bcast)
+            chunk_reduce.append(t_reduce)
+            chunk_compute.append(
+                sum(
+                    block_phase_times(
+                        nm_rank, nd_rank, nt, kc, cfg, spec, adjoint=adjoint
+                    ).values()
+                )
+            )
+        sched = overlapped_chunk_schedule(
+            chunk_bcast,
+            chunk_compute,
+            chunk_reduce,
+            overlap_efficiency=net.overlap_efficiency,
         )
-        chunk_bcast.append(t_bcast)
-        chunk_reduce.append(t_reduce)
-        # Per-chunk compute: kc vectors through the blocked pipeline
-        # (charged at the per-vector rate — a conservative bound; the
-        # blocked pipeline amortizes launch overhead below it).
-        chunk_compute.append(kc * compute_vec)
+        sched["n_chunks"] = len(widths)
+        sched["compute"] = chunk_compute[0]
+        sched["bcast"] = chunk_bcast[0]
+        sched["reduce"] = chunk_reduce[0]
+        return sched
 
-    sched = overlapped_chunk_schedule(
-        chunk_bcast,
-        chunk_compute,
-        chunk_reduce,
-        overlap_efficiency=net.overlap_efficiency,
-    )
+    sched = schedule_for(nm_slow, nd_slow)
+    if skew > 0:
+        # Rebalance the injected skew with the real search: uniform unit
+        # costs (the at-scale grid is homogeneous), so the searched
+        # slowest rank owns the largest remaining extent — the
+        # ceil-balanced share, up to integer granularity — whatever the
+        # injected skew was.  A grid with more rows than sensors keeps
+        # the ceil-clamped row extent (there is nothing to search).
+        if pr <= nd:
+            row_search = balance_extents(
+                nd, pr, linear_cost([1.0] * pr), what="row_ranges"
+            )
+            nd_bal = max(stop - start for start, stop in row_search.extents)
+        else:
+            nd_bal = nd_local
+        col_search = balance_extents(
+            nm_global, pc, linear_cost([1.0] * pc), what="col_ranges"
+        )
+        nm_bal = max(stop - start for start, stop in col_search.extents)
+        sched_bal = (
+            sched
+            if (nm_bal, nd_bal) == (nm_slow, nd_slow)
+            else schedule_for(nm_bal, nd_bal)
+        )
+    else:
+        sched_bal = sched
     return {
         "serial": sched["serial"],
         "overlapped": sched["overlapped"],
@@ -199,10 +256,12 @@ def blocked_matvec_time_at_scale(
         "total": sched["overlapped"],
         "per_vector": sched["overlapped"] / k,
         "serial_per_vector": sched["serial"] / k,
-        "n_chunks": len(widths),
-        "compute": chunk_compute[0],
-        "bcast": chunk_bcast[0],
-        "reduce": chunk_reduce[0],
+        "n_chunks": sched["n_chunks"],
+        "compute": sched["compute"],
+        "bcast": sched["bcast"],
+        "reduce": sched["reduce"],
+        "total_balanced": sched_bal["overlapped"],
+        "per_vector_balanced": sched_bal["overlapped"] / k,
     }
 
 
@@ -218,6 +277,12 @@ class ScalingPoint:
     serially — the pair isolates the overlap win from the collective
     batching PR 2 already delivered.  All three are 0.0 when the sweep
     ran without the blocked model.
+
+    ``time_double_balanced`` / ``time_mixed_balanced`` are the same
+    overlapped per-vector times after the skew-searching partitioner
+    (:mod:`repro.comm.balance`) rebalanced the sweep's injected ``skew``;
+    with ``skew=0`` they equal the overlap columns, and
+    :attr:`balance_speedup` quantifies the recovered skew.
     """
 
     p: int
@@ -229,6 +294,8 @@ class ScalingPoint:
     time_double_overlap: float = 0.0
     time_mixed_overlap: float = 0.0
     time_mixed_blocked_serial: float = 0.0
+    time_double_balanced: float = 0.0
+    time_mixed_balanced: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -244,6 +311,18 @@ class ScalingPoint:
         if self.time_mixed_overlap <= 0.0:
             return 1.0
         return self.time_mixed_blocked_serial / self.time_mixed_overlap
+
+    @property
+    def balance_speedup(self) -> float:
+        """Skewed overlapped time over the searched-partition time.
+
+        1.0 when the sweep injected no skew (nothing to recover); above
+        1.0, the factor the cost-model-driven ``row_ranges``/``col_ranges``
+        search wins back at this GPU count.
+        """
+        if self.time_mixed_balanced <= 0.0:
+            return 1.0
+        return self.time_mixed_overlap / self.time_mixed_balanced
 
 
 def scaling_sweep(
@@ -263,8 +342,11 @@ def scaling_sweep(
     ``rows`` overrides the per-count grid-row schedule (defaults to the
     paper's published schedule).  Each point also carries the
     double-buffered blocked per-vector times (``k`` RHS in chunks of
-    ``max_block_k``, broadcasts prefetched behind compute, per-rank
-    ``skew`` honored) so the sweep reflects the event-timeline schedule.
+    ``max_block_k``, broadcasts prefetched behind compute, chunk compute
+    through the blocked SBGEMM phase model, per-rank ``skew`` honored)
+    plus the ``time_*_balanced`` columns: the same schedule after the
+    skew-searching partitioner rebalanced the injected skew
+    (``balance_speedup`` quantifies the recovery per GPU count).
     """
     points = []
     for i, p in enumerate(gpu_counts):
@@ -276,10 +358,10 @@ def scaling_sweep(
         t_m = matvec_time_at_scale(
             p, pr, cfg, nm_per_gpu, nd, nt, spec=spec, net=net
         )["total"]
-        t_do = blocked_matvec_time_at_scale(
+        blocked_double = blocked_matvec_time_at_scale(
             p, pr, "ddddd", k=k, max_block_k=max_block_k, skew=skew,
             nm_per_gpu=nm_per_gpu, nd=nd, nt=nt, spec=spec, net=net,
-        )["per_vector"]
+        )
         blocked_mixed = blocked_matvec_time_at_scale(
             p, pr, cfg, k=k, max_block_k=max_block_k, skew=skew,
             nm_per_gpu=nm_per_gpu, nd=nd, nt=nt, spec=spec, net=net,
@@ -292,9 +374,11 @@ def scaling_sweep(
                 config=cfg,
                 time_double=t_d,
                 time_mixed=t_m,
-                time_double_overlap=t_do,
+                time_double_overlap=blocked_double["per_vector"],
                 time_mixed_overlap=blocked_mixed["per_vector"],
                 time_mixed_blocked_serial=blocked_mixed["serial_per_vector"],
+                time_double_balanced=blocked_double["per_vector_balanced"],
+                time_mixed_balanced=blocked_mixed["per_vector_balanced"],
             )
         )
     return points

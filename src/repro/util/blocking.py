@@ -47,6 +47,13 @@ def chunk_ranges(k: int, max_block_k: Optional[int] = None) -> List[Tuple[int, i
     """Contiguous ``(start, stop)`` column ranges covering ``range(k)``.
 
     ``max_block_k=None`` means unbounded: one chunk with all k columns.
+
+    >>> chunk_ranges(10, 4)
+    [(0, 4), (4, 8), (8, 10)]
+    >>> chunk_ranges(10)
+    [(0, 10)]
+    >>> chunk_ranges(3, 8)  # cap above k: still one chunk
+    [(0, 3)]
     """
     check_positive_int(k, "k")
     if max_block_k is None:
@@ -56,7 +63,16 @@ def chunk_ranges(k: int, max_block_k: Optional[int] = None) -> List[Tuple[int, i
 
 
 def n_chunks(k: int, max_block_k: Optional[int] = None) -> int:
-    """Number of chunks ``chunk_ranges`` produces: ``ceil(k / max_block_k)``."""
+    """Number of chunks ``chunk_ranges`` produces: ``ceil(k / max_block_k)``.
+
+    This is also the number of collectives (and pipeline passes) a
+    blocked path pays for ``k`` right-hand sides.
+
+    >>> n_chunks(10, 4)
+    3
+    >>> n_chunks(10)
+    1
+    """
     if max_block_k is None:
         check_positive_int(k, "k")
         return 1
@@ -64,7 +80,13 @@ def n_chunks(k: int, max_block_k: Optional[int] = None) -> int:
 
 
 def validate_max_block_k(max_block_k: Optional[int]) -> Optional[int]:
-    """Validate a chunk-size knob (None = unbounded)."""
+    """Validate a chunk-size knob (None = unbounded).
+
+    >>> validate_max_block_k(4)
+    4
+    >>> validate_max_block_k(None) is None
+    True
+    """
     if max_block_k is None:
         return None
     if int(max_block_k) != max_block_k or max_block_k < 1:

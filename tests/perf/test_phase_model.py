@@ -8,7 +8,12 @@ from repro.core.precision import PrecisionConfig
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.specs import MI250X_GCD, MI300X, MI355X
-from repro.perf.phase_model import fft_traffic_bytes, modeled_timing, phase_times
+from repro.perf.phase_model import (
+    block_phase_times,
+    fft_traffic_bytes,
+    modeled_timing,
+    phase_times,
+)
 from repro.util.dtypes import Precision
 
 
@@ -42,6 +47,63 @@ class TestEngineConsistency:
         modeled = phase_times(nm, nd, nt, "dssdd", MI250X_GCD)
         for phase, t in eng.last_timing.phases.items():
             assert modeled[phase] == pytest.approx(t, rel=1e-6)
+
+
+class TestBlockModelEngineConsistency:
+    """block_phase_times must reproduce the blocked pipeline's charges."""
+
+    @pytest.mark.parametrize("cfg", ["ddddd", "dssdd", "sssss"])
+    @pytest.mark.parametrize("adjoint", [False, True])
+    @pytest.mark.parametrize("k", [1, 4, 16])
+    def test_block_model_matches_engine_charges(self, cfg, adjoint, k):
+        nt, nd, nm = 64, 8, 96
+        rng = np.random.default_rng(0)
+        dev = SimulatedDevice(MI300X)
+        eng = FFTMatvec(
+            BlockTriangularToeplitz.random(nt, nd, nm, rng=rng), device=dev
+        )
+        V = rng.standard_normal((nt, nd if adjoint else nm, k))
+        (eng.rmatmat if adjoint else eng.matmat)(V, config=cfg)
+        charged = eng.last_timing.phases
+        modeled = block_phase_times(nm, nd, nt, k, cfg, MI300X, adjoint=adjoint)
+        for phase, t in charged.items():
+            assert modeled[phase] == pytest.approx(t, rel=1e-6), (phase, cfg, k)
+
+    def test_block_model_matches_other_architecture(self):
+        nt, nd, nm, k = 32, 4, 48, 8
+        rng = np.random.default_rng(1)
+        dev = SimulatedDevice(MI250X_GCD)
+        eng = FFTMatvec(
+            BlockTriangularToeplitz.random(nt, nd, nm, rng=rng), device=dev
+        )
+        eng.matmat(rng.standard_normal((nt, nm, k)), config="dssdd")
+        modeled = block_phase_times(nm, nd, nt, k, "dssdd", MI250X_GCD)
+        for phase, t in eng.last_timing.phases.items():
+            assert modeled[phase] == pytest.approx(t, rel=1e-6)
+
+    def test_k1_degenerates_to_vector_model(self):
+        blocked = block_phase_times(5000, 100, 1000, 1, "ddddd", MI300X)
+        vector = phase_times(5000, 100, 1000, "ddddd", MI300X)
+        for phase, t in vector.items():
+            assert blocked[phase] == pytest.approx(t, rel=1e-12)
+
+    def test_blocked_beats_k_vector_passes(self):
+        # The point of the SBGEMM model: one blocked pass charges less
+        # than k per-vector passes (amortized launches + spectrum reads).
+        k = 16
+        blocked = sum(
+            block_phase_times(5000, 100, 1000, k, "ddddd", MI300X).values()
+        )
+        looped = k * sum(phase_times(5000, 100, 1000, "ddddd", MI300X).values())
+        assert blocked < looped
+
+    def test_unoptimized_flag_forces_vendor_gemm(self):
+        opt = block_phase_times(5000, 100, 1000, 8, "ddddd", MI300X, adjoint=True)
+        base = block_phase_times(
+            5000, 100, 1000, 8, "ddddd", MI300X, adjoint=True,
+            use_optimized_sbgemv=False,
+        )
+        assert base["sbgemv"] >= opt["sbgemv"]
 
 
 class TestPaperScaleFacts:
