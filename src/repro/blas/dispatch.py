@@ -117,11 +117,15 @@ class SBGEMVDispatcher:
         operation: Operation,
         device: Optional[SimulatedDevice] = None,
         phase: str = "sbgemv",
+        out: Optional[np.ndarray] = None,
+        x_conj: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """rocBLAS entry point: dispatch and run.
 
         ``A`` is (batch, m, n), ``x`` is (batch, in_len); dtype determines
         the datatype, as the templated host dispatch function does.
+        ``out`` (shape (batch, out_len)) receives the result in place;
+        ``x_conj`` is a precomputed ``np.conj(x)`` for op C callers.
         """
         A = np.asarray(A)
         problem = GemvProblem(
@@ -133,7 +137,9 @@ class SBGEMVDispatcher:
         )
         kernel = self.select(problem)
         self.dispatch_counts[kernel.name] += 1
-        return kernel.run(A, x, problem, device=device, phase=phase)
+        return kernel.run(
+            A, x, problem, device=device, phase=phase, out=out, x_conj=x_conj
+        )
 
     # -- blocked multi-RHS (SBGEMM) path -------------------------------------
     @staticmethod
@@ -223,13 +229,17 @@ class SBGEMVDispatcher:
         operation: Operation,
         device: Optional[SimulatedDevice] = None,
         phase: str = "sbgemv",
+        out: Optional[np.ndarray] = None,
+        a_conj: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """rocBLAS entry point for the blocked path: dispatch and run.
 
         ``A`` is (batch, m, n); ``B`` is (batch, in_rows, k).  With
         ``k == 1`` the call degenerates to (and dispatches like) the
         single-RHS GEMV entry point, keeping the two paths numerically
-        interchangeable.
+        interchangeable.  ``out`` (shape (batch, out_rows, k)) receives
+        the panel in place; ``a_conj`` is a cached ``np.conj(A)`` for
+        op C callers.
         """
         A = np.asarray(A)
         B = np.asarray(B)
@@ -238,7 +248,12 @@ class SBGEMVDispatcher:
             raise ReproError(f"B must be (batch, in_rows, k), got shape {B.shape}")
         if B.shape[2] == 1:
             y = self.gemv_strided_batched(
-                A, B[:, :, 0], op, device=device, phase=phase
+                A,
+                B[:, :, 0],
+                op,
+                device=device,
+                phase=phase,
+                out=None if out is None else out[:, :, 0],
             )
             return y[:, :, None]
         problem = GemmProblem(
@@ -251,4 +266,4 @@ class SBGEMVDispatcher:
         )
         kernel = self.select_gemm(problem)
         self.dispatch_counts[kernel.name] += 1
-        return kernel.run(A, B, problem, device=device, phase=phase)
+        return kernel.run(A, B, problem, device=device, phase=phase, out=out, a_conj=a_conj)

@@ -53,7 +53,11 @@ __all__ = [
 
 
 def gemm_strided_batched_reference(
-    A: np.ndarray, B: np.ndarray, operation: Operation
+    A: np.ndarray,
+    B: np.ndarray,
+    operation: Operation,
+    out: Optional[np.ndarray] = None,
+    a_conj: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Numerical strided-batched GEMM: ``C_i = op(A_i) @ B_i``.
 
@@ -61,6 +65,12 @@ def gemm_strided_batched_reference(
     where ``in_rows`` is ``n`` for op N and ``m`` for op T/C.  Computation
     stays in the input dtype, so mixed-precision SBGEMM error is
     measured, not modeled — same contract as the GEMV reference.
+
+    ``out`` (shape ``(batch, out_rows, k)``) receives the panel without a
+    fresh allocation.  ``a_conj`` supplies a precomputed ``np.conj(A)``
+    for op C callers that apply the same spectrum every iteration (the
+    matvec engine caches it); it must hold exactly the bytes
+    ``np.conj(A)`` would produce, so the result is bitwise-unchanged.
     """
     A = np.asarray(A)
     B = np.asarray(B)
@@ -74,11 +84,25 @@ def gemm_strided_batched_reference(
         raise ReproError(
             f"B must be ({A.shape[0]}, {in_rows}, k), got {B.shape}"
         )
+    out_rows = A.shape[1] if op is Operation.N else A.shape[2]
+    if out is not None and (
+        out.shape != (A.shape[0], out_rows, B.shape[2]) or out.dtype != A.dtype
+    ):
+        raise ReproError(
+            f"out must be {(A.shape[0], out_rows, B.shape[2])} {A.dtype}, "
+            f"got {out.shape} {out.dtype}"
+        )
     if op is Operation.N:
-        return np.matmul(A, B)
+        return np.matmul(A, B, out=out)
     if op is Operation.C:
-        return np.matmul(np.conj(A).transpose(0, 2, 1), B)
-    return np.matmul(A.transpose(0, 2, 1), B)
+        if a_conj is None:
+            a_conj = np.conj(A)
+        elif a_conj.shape != A.shape or a_conj.dtype != A.dtype:
+            raise ReproError(
+                f"a_conj must be {A.shape} {A.dtype}, got {a_conj.shape} {a_conj.dtype}"
+            )
+        return np.matmul(a_conj.transpose(0, 2, 1), B, out=out)
+    return np.matmul(A.transpose(0, 2, 1), B, out=out)
 
 
 # Architecture rescaling is relative to MI300X, matching the SBGEMV
@@ -118,12 +142,16 @@ class SBGEMMKernel:
         problem: GemmProblem,
         device: Optional[SimulatedDevice] = None,
         phase: str = "sbgemv",
+        out: Optional[np.ndarray] = None,
+        a_conj: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute the batched GEMM and charge simulated time.
 
         Dtypes must match the problem datatype — same strict check as the
         SBGEMV path, for the same reason: a precision-config bug here
-        would silently change the numerics.
+        would silently change the numerics.  ``out`` / ``a_conj`` forward
+        to the reference kernel (no output allocation, cached conjugate
+        spectrum).
         """
         if np.dtype(A.dtype) != problem.datatype.dtype:
             raise ReproError(
@@ -135,7 +163,9 @@ class SBGEMMKernel:
             )
         if not self.supports(problem):
             raise ReproError(f"{self.name} does not support {problem.describe()}")
-        C = gemm_strided_batched_reference(A, B, problem.operation)
+        C = gemm_strided_batched_reference(
+            A, B, problem.operation, out=out, a_conj=a_conj
+        )
         if device is not None:
             grid, block = self.launch_geometry(problem, device.spec)
             eff = self.efficiency(problem, device.spec)

@@ -50,31 +50,64 @@ __all__ = [
 
 
 def gemv_strided_batched_reference(
-    A: np.ndarray, x: np.ndarray, operation: Operation
+    A: np.ndarray,
+    x: np.ndarray,
+    operation: Operation,
+    out: Optional[np.ndarray] = None,
+    x_conj: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Numerical strided-batched GEMV: ``y_i = op(A_i) @ x_i``.
 
     ``A`` has shape (batch, m, n); ``x`` has shape (batch, in_len).
     Computation stays in the input dtype (complex64 math is single
     precision), so mixed-precision SBGEMV error is measured, not modeled.
+    ``out`` (shape ``(batch, out_len)``, the problem dtype) receives the
+    result without a fresh allocation — ``np.matmul`` writes it
+    directly, producing the same bits as the allocating path.
+    ``x_conj`` supplies a precomputed ``np.conj(x)`` for op C callers
+    (the engine conjugates into an arena buffer); it must hold exactly
+    the bytes ``np.conj(x)`` would produce.
     """
     A = np.asarray(A)
     x = np.asarray(x)
     if A.ndim != 3:
         raise ReproError(f"A must be (batch, m, n), got shape {A.shape}")
     op = Operation.parse(operation)
+    out_len = A.shape[1] if op is Operation.N else A.shape[2]
+    if out is not None and (out.shape != (A.shape[0], out_len) or out.dtype != A.dtype):
+        raise ReproError(
+            f"out must be {(A.shape[0], out_len)} {A.dtype}, "
+            f"got {out.shape} {out.dtype}"
+        )
     if op is Operation.N:
         if x.shape != (A.shape[0], A.shape[2]):
             raise ReproError(
                 f"x must be {(A.shape[0], A.shape[2])}, got {x.shape}"
             )
-        return np.matmul(A, x[:, :, None])[:, :, 0]
+        if out is None:
+            return np.matmul(A, x[:, :, None])[:, :, 0]
+        np.matmul(A, x[:, :, None], out=out[:, :, None])
+        return out
     if x.shape != (A.shape[0], A.shape[1]):
         raise ReproError(f"x must be {(A.shape[0], A.shape[1])}, got {x.shape}")
     if op is Operation.C:
         # y[n] = sum_m conj(A[m,n]) x[m] = conj( (conj(x)^T A)[n] )
-        return np.conj(np.matmul(np.conj(x[:, None, :]), A))[:, 0, :]
-    return np.matmul(x[:, None, :], A)[:, 0, :]
+        if x_conj is None:
+            x_conj = np.conj(x)
+        elif x_conj.shape != x.shape or x_conj.dtype != x.dtype:
+            raise ReproError(
+                f"x_conj must be {x.shape} {x.dtype}, "
+                f"got {x_conj.shape} {x_conj.dtype}"
+            )
+        if out is None:
+            return np.conj(np.matmul(x_conj[:, None, :], A))[:, 0, :]
+        np.matmul(x_conj[:, None, :], A, out=out[:, None, :])
+        np.conjugate(out, out=out)
+        return out
+    if out is None:
+        return np.matmul(x[:, None, :], A)[:, 0, :]
+    np.matmul(x[:, None, :], A, out=out[:, None, :])
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -209,12 +242,16 @@ class SBGEMVKernel:
         problem: GemvProblem,
         device: Optional[SimulatedDevice] = None,
         phase: str = "sbgemv",
+        out: Optional[np.ndarray] = None,
+        x_conj: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute the batched GEMV and charge simulated time.
 
         ``A``/``x`` dtypes must match the problem datatype; this is where a
         precision-config bug would silently change the numerics, so it is
-        checked strictly.
+        checked strictly.  ``out`` / ``x_conj`` forward to the reference
+        kernel so a workspace-backed caller pays no output (or op-C
+        conjugate staging) allocation.
         """
         if np.dtype(A.dtype) != problem.datatype.dtype:
             raise ReproError(
@@ -226,7 +263,9 @@ class SBGEMVKernel:
             )
         if not self.supports(problem):
             raise ReproError(f"{self.name} does not support {problem.describe()}")
-        y = gemv_strided_batched_reference(A, x, problem.operation)
+        y = gemv_strided_batched_reference(
+            A, x, problem.operation, out=out, x_conj=x_conj
+        )
         if device is not None:
             grid, block = self.launch_geometry(problem, device.spec)
             eff = self.efficiency(problem, device.spec)

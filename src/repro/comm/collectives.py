@@ -55,10 +55,17 @@ def tree_reduce_arrays(
     """
     if len(arrays) == 0:
         raise ReproError("cannot reduce zero arrays")
-    work: List[np.ndarray] = [
-        cast_to(np.asarray(a), precision) if precision is not None else np.asarray(a)
-        for a in arrays
-    ]
+    work: List[np.ndarray] = []
+    owned: List[bool] = []  # True once a buffer is a reduction temporary
+    for a in arrays:
+        arr = np.asarray(a)
+        if precision is not None:
+            cast = cast_to(arr, precision)
+            work.append(cast)
+            owned.append(cast is not arr)  # cast_to copies iff it converts
+        else:
+            work.append(arr)
+            owned.append(False)
     shape = work[0].shape
     for i, a in enumerate(work):
         if a.shape != shape:
@@ -67,11 +74,23 @@ def tree_reduce_arrays(
             )
     while len(work) > 1:
         nxt: List[np.ndarray] = []
+        nxt_owned: List[bool] = []
         for i in range(0, len(work) - 1, 2):
-            nxt.append(work[i] + work[i + 1])
+            a, b = work[i], work[i + 1]
+            if owned[i]:
+                # Accumulate in place into the temporary this level
+                # already owns — np.add(a, b, out=a) rounds exactly like
+                # a + b, so the tree numerics are unchanged while the
+                # upper levels allocate nothing.
+                np.add(a, b, out=a)
+                nxt.append(a)
+            else:
+                nxt.append(a + b)
+            nxt_owned.append(True)
         if len(work) % 2 == 1:
             nxt.append(work[-1])
-        work = nxt
+            nxt_owned.append(owned[-1])
+        work, owned = nxt, nxt_owned
     return work[0]
 
 

@@ -39,6 +39,7 @@ from repro.comm.netmodel import NetworkModel, SIMPLE_NETWORK
 from repro.util.dtypes import Precision
 from repro.util.timing import SimClock, Stream
 from repro.util.validation import ReproError, check_positive_int
+from repro.util.workspace import Workspace
 
 __all__ = ["SimCommunicator"]
 
@@ -135,14 +136,36 @@ class SimCommunicator:
         self.op_bytes = {op: 0.0 for op in self._OPS}
 
     # -- collectives ---------------------------------------------------------
-    def bcast(self, value: np.ndarray, root: int = 0, phase: str = "comm") -> List[np.ndarray]:
-        """Broadcast root's array to all ranks; returns per-rank copies."""
+    def bcast(
+        self,
+        value: np.ndarray,
+        root: int = 0,
+        phase: str = "comm",
+        workspace: Optional[Workspace] = None,
+        tag: str = "bcast",
+    ) -> List[np.ndarray]:
+        """Broadcast root's array to all ranks; returns per-rank copies.
+
+        With a ``workspace`` the per-rank receive buffers are persistent
+        arena buffers keyed by ``tag`` and rank — repeated broadcasts of
+        the same payload shape (the grid engine's chunk loop) reuse them
+        instead of allocating ``size`` fresh copies per call.  Callers
+        must have consumed the previous copies for the same tag (the
+        usual checkout discipline).
+        """
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
         buf = np.asarray(value)
         self.op_counts["bcast"] += 1
         self._charge(self.size, buf.nbytes, phase, op="bcast")
-        return [buf.copy() for _ in range(self.size)]
+        if workspace is None:
+            return [buf.copy() for _ in range(self.size)]
+        copies = []
+        for rank in range(self.size):
+            recv = workspace.buffer(f"{tag}/r{rank}", buf.shape, buf.dtype)
+            np.copyto(recv, buf)
+            copies.append(recv)
+        return copies
 
     def reduce(
         self,

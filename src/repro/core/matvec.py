@@ -47,10 +47,11 @@ from repro.core.reorder import soti_to_tosi, tosi_to_soti
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.fft.plan import FFTPlan, FFTType
 from repro.gpu.device import SimulatedDevice
-from repro.util.blocking import check_block
-from repro.util.dtypes import Precision, cast_to, complex_dtype
+from repro.util.blocking import check_block, check_out_buffer
+from repro.util.dtypes import Precision, cast_to, complex_dtype, real_dtype
 from repro.util.timing import TimingReport
 from repro.util.validation import ReproError
+from repro.util.workspace import Workspace
 
 __all__ = ["FFTMatvec"]
 
@@ -73,6 +74,14 @@ class FFTMatvec:
         When False, the dispatcher is bypassed and the original rocBLAS
         kernel handles the (conjugate) transpose SBGEMV too — the
         pre-optimization behaviour used in ablation benches.
+    workspace:
+        ``True`` builds a private :class:`Workspace` arena (registered
+        with the device allocator when a device is attached), a
+        :class:`Workspace` instance is used as given, ``None``/``False``
+        keeps the allocate-per-call reference path.  With an arena every
+        phase of the pipeline writes into persistent checked-out
+        buffers — numerics are bitwise-identical either way; only the
+        allocation behaviour changes.
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class FFTMatvec:
         matrix: Union[BlockTriangularToeplitz, np.ndarray],
         device: Optional[SimulatedDevice] = None,
         use_optimized_sbgemv: bool = True,
+        workspace: Union[None, bool, Workspace] = None,
     ) -> None:
         self.matrix = (
             matrix
@@ -109,7 +119,17 @@ class FFTMatvec:
         self.last_timing: Optional[TimingReport] = None
         self.matvec_count = 0
         self.matmat_count = 0
+        self.cast_noop_count = 0  # inter-phase casts skipped (equal precisions)
         self._ref_cache: Dict[Tuple[bool, Tuple[int, ...], bytes], np.ndarray] = {}
+        self._fhat_conj: Dict[Precision, np.ndarray] = {}
+        if workspace is True:
+            workspace = Workspace(
+                allocator=device.allocator if device is not None else None,
+                name="fftmatvec",
+            )
+        elif workspace is False:
+            workspace = None
+        self.workspace: Optional[Workspace] = workspace
 
     # -- setup -----------------------------------------------------------------
     def _setup_spectrum(self) -> np.ndarray:
@@ -167,6 +187,19 @@ class FFTMatvec:
             )
         return self._fhat[precision]
 
+    def spectrum_conj(self, precision: Precision) -> np.ndarray:
+        """``np.conj(spectrum(precision))``, cached.
+
+        The adjoint GEMM applies the conjugated spectrum on every
+        iteration; caching the exact bytes ``np.conj`` would produce
+        keeps repeated adjoint applies from re-materializing the largest
+        array on the hot path, with bitwise-unchanged results.
+        """
+        precision = Precision.parse(precision)
+        if precision not in self._fhat_conj:
+            self._fhat_conj[precision] = np.conj(self.spectrum(precision))
+        return self._fhat_conj[precision]
+
     def _plan(self, kind: str, precision: Precision, batch: int) -> FFTPlan:
         key = (kind, precision, batch)
         if key not in self._plans:
@@ -191,10 +224,29 @@ class FFTMatvec:
         self, mhat: np.ndarray, operation: Operation, precision: Precision
     ) -> np.ndarray:
         fhat = self.spectrum(precision)
+        out = x_conj = None
+        if self.workspace is not None:
+            out_len = fhat.shape[1] if operation is Operation.N else fhat.shape[2]
+            out = self.workspace.checkout(
+                "sbgemv_out", (fhat.shape[0], out_len), fhat.dtype
+            )
+            if operation is Operation.C:
+                # Stage the adjoint's conj(x) in the arena — bitwise the
+                # bytes np.conj would produce, no per-apply temporary.
+                x_conj = self.workspace.checkout(
+                    "sbgemv_conj_x", mhat.shape, mhat.dtype
+                )
+                np.conjugate(mhat, out=x_conj)
         if self.dispatcher is not None:
             if self.use_optimized_sbgemv:
                 return self.dispatcher.gemv_strided_batched(
-                    fhat, mhat, operation, device=self.device, phase="sbgemv"
+                    fhat,
+                    mhat,
+                    operation,
+                    device=self.device,
+                    phase="sbgemv",
+                    out=out,
+                    x_conj=x_conj,
                 )
             # Ablation: force the original kernel through the same path.
             from repro.blas.gemv_kernels import RocblasSBGEMV
@@ -208,21 +260,44 @@ class FFTMatvec:
                 operation=operation,
             )
             return RocblasSBGEMV().run(
-                fhat, mhat, problem, device=self.device, phase="sbgemv"
+                fhat,
+                mhat,
+                problem,
+                device=self.device,
+                phase="sbgemv",
+                out=out,
+                x_conj=x_conj,
             )
         from repro.blas.gemv_kernels import gemv_strided_batched_reference
 
-        return gemv_strided_batched_reference(fhat, mhat, operation)
+        return gemv_strided_batched_reference(
+            fhat, mhat, operation, out=out, x_conj=x_conj
+        )
 
     def _run_sbgemm(
         self, mhat: np.ndarray, operation: Operation, precision: Precision
     ) -> np.ndarray:
         """Blocked Phase 3: per-frequency GEMM on a (n_freq, nx, k) panel."""
         fhat = self.spectrum(precision)
+        # The conjugated spectrum is cached for the adjoint (op C): the
+        # bytes match a fresh np.conj, so results are bitwise-unchanged.
+        a_conj = self.spectrum_conj(precision) if operation is Operation.C else None
+        out = None
+        if self.workspace is not None:
+            out_rows = fhat.shape[1] if operation is Operation.N else fhat.shape[2]
+            out = self.workspace.checkout(
+                "sbgemm_out", (fhat.shape[0], out_rows, mhat.shape[2]), fhat.dtype
+            )
         if self.dispatcher is not None:
             if self.use_optimized_sbgemv:
                 return self.dispatcher.gemm_strided_batched(
-                    fhat, mhat, operation, device=self.device, phase="sbgemv"
+                    fhat,
+                    mhat,
+                    operation,
+                    device=self.device,
+                    phase="sbgemv",
+                    out=out,
+                    a_conj=a_conj,
                 )
             # Ablation: force the vendor GEMM, mirroring the GEMV ablation.
             from repro.blas.types import BlasDatatype, GemmProblem
@@ -236,79 +311,180 @@ class FFTMatvec:
                 operation=operation,
             )
             return self.dispatcher.rocblas_gemm.run(
-                fhat, mhat, problem, device=self.device, phase="sbgemv"
+                fhat,
+                mhat,
+                problem,
+                device=self.device,
+                phase="sbgemv",
+                out=out,
+                a_conj=a_conj,
             )
         from repro.blas.gemm_kernels import gemm_strided_batched_reference
 
-        return gemm_strided_batched_reference(fhat, mhat, operation)
+        return gemm_strided_batched_reference(
+            fhat, mhat, operation, out=out, a_conj=a_conj
+        )
 
     # -- the five-phase pipeline -----------------------------------------------
+    def _maybe_cast(self, arr: np.ndarray, prec: Precision, tag: str) -> np.ndarray:
+        """Inter-phase cast with the no-op made explicit (and counted).
+
+        Adjacent phases at equal precision skip the cast entirely —
+        ``cast_noop_count`` advances instead of a call that relies on
+        ``copy=False`` doing nothing.  An actual cast writes into an
+        arena buffer when the workspace is active.
+        """
+        target = complex_dtype(prec) if np.iscomplexobj(arr) else real_dtype(prec)
+        if arr.dtype == target:
+            self.cast_noop_count += 1
+            return arr
+        if self.workspace is None:
+            return arr.astype(target)
+        buf = self.workspace.checkout(tag, arr.shape, target)
+        buf[...] = arr
+        return buf
+
+    def _finalize(
+        self, res: np.ndarray, out: Optional[np.ndarray], detach: bool = True
+    ) -> np.ndarray:
+        """Return the pipeline result as float64.
+
+        ``res`` is the unpad output (possibly an arena buffer, possibly
+        already ``out`` itself).  Without a workspace and without ``out``
+        this is the historical ``astype(float64, copy=False)``; with a
+        workspace the result is *detached* from the arena (copied) so the
+        caller can hold it across subsequent applies.  ``detach=False``
+        skips that copy for internal callers (the grid engine) that
+        consume the result before the next apply on this engine.
+        """
+        if out is None:
+            if self.workspace is None:
+                return res.astype(np.float64, copy=False)
+            if not detach:
+                if res.dtype == np.float64:
+                    return res
+                buf = self.workspace.checkout("final64", res.shape, np.float64)
+                buf[...] = res
+                return buf
+            out = np.empty(res.shape, dtype=np.float64)
+            out[...] = res
+            return out
+        if res is out or np.shares_memory(res, out):
+            return out  # unpad already wrote the caller's buffer
+        out[...] = res.reshape(out.shape)
+        return out
+
+    def _unpad_dest(
+        self, config: PrecisionConfig, out: Optional[np.ndarray], shape2d
+    ) -> Optional[np.ndarray]:
+        """Caller ``out`` reshaped as the unpad destination, when the
+        unpad precision already produces float64 (no staging needed)."""
+        if out is None or real_dtype(config.unpad) != np.float64:
+            return None
+        if not out.flags["C_CONTIGUOUS"]:
+            return None
+        return out.reshape(shape2d)
+
     def _pipeline(
         self,
         v_in: np.ndarray,
         config: PrecisionConfig,
         adjoint: bool,
+        out: Optional[np.ndarray] = None,
+        detach: bool = True,
     ) -> np.ndarray:
         """Shared forward/adjoint pipeline.
 
         Forward: v_in is (Nt, Nm); output (Nt, Nd); SBGEMV op = N.
         Adjoint: v_in is (Nt, Nd); output (Nt, Nm); SBGEMV op = C.
+        ``out`` (float64, (Nt, ny)) receives the result in place;
+        ``detach=False`` may return an arena buffer (internal callers
+        only — it is overwritten by this engine's next apply).
         """
         operation = Operation.C if adjoint else Operation.N
+        ws = self.workspace
+        if ws is not None:
+            ws.reset()  # apply boundary: every site re-acquires its buffer
 
         # Phase 1: broadcast (trivial single-device) + zero-pad, in the
         # phase's precision (cast fused into the pad kernel's writes).
         with self._phase_ctx("pad"):
-            x = pad_to_soti(v_in, config.pad, device=self.device, phase="pad")
+            x = pad_to_soti(
+                v_in, config.pad, device=self.device, phase="pad", workspace=ws
+            )
 
         # Phase 2: batched forward FFT in its precision.  The input cast
         # (if needed) fuses with the pad's writes in the real code; here
-        # it is a dtype view change before the transform.
+        # it is an explicit no-op when the precisions agree.
         with self._phase_ctx("fft"):
-            x = cast_to(x, config.fft)
+            x = self._maybe_cast(x, config.fft, "cast_fft")
             plan = self._plan("fwd", config.fft, batch=x.shape[0])
-            xhat = plan.execute(x, phase="fft")
+            xhat = plan.execute(x, phase="fft", workspace=ws)
 
         # Reorder to frequency-outer layout at the lower adjacent
         # precision, then present to the SBGEMV at its precision.
         reorder_prec = config.reorder_precision("fft", "sbgemv")
         with self._phase_ctx("sbgemv"):
             vhat = soti_to_tosi(
-                xhat, precision=reorder_prec, device=self.device, phase="sbgemv"
+                xhat,
+                precision=reorder_prec,
+                device=self.device,
+                phase="sbgemv",
+                workspace=ws,
+                tag="fwd_reorder",
             )
-            vhat = cast_to(vhat, config.sbgemv)
+            vhat = self._maybe_cast(vhat, config.sbgemv, "cast_sbgemv")
             if vhat.dtype != complex_dtype(config.sbgemv):
                 raise ReproError("internal: SBGEMV input precision mismatch")
             yhat = self._run_sbgemv(vhat, operation, config.sbgemv)
             reorder_prec = config.reorder_precision("sbgemv", "ifft")
             yhat = tosi_to_soti(
-                yhat, precision=reorder_prec, device=self.device, phase="sbgemv"
+                yhat,
+                precision=reorder_prec,
+                device=self.device,
+                phase="sbgemv",
+                workspace=ws,
+                tag="bwd_reorder",
             )
 
         # Phase 4: batched inverse FFT.
         with self._phase_ctx("ifft"):
-            yhat = cast_to(yhat, config.ifft)
+            yhat = self._maybe_cast(yhat, config.ifft, "cast_ifft")
             plan = self._plan("inv", config.ifft, batch=yhat.shape[0])
-            y = plan.inverse(yhat, phase="ifft")
+            y = plan.inverse(yhat, phase="ifft", workspace=ws)
 
         # Phase 5: unpad (+ reduction across the grid in the parallel
-        # engine) in its precision, then return to double.
+        # engine) in its precision, then return to double.  With an
+        # arena and a double-precision unpad the kernel writes straight
+        # into the caller's buffer.
         with self._phase_ctx("unpad"):
-            out = unpad_from_soti(
-                y, self.nt, config.unpad, device=self.device, phase="unpad"
+            dest = self._unpad_dest(config, out, (self.nt, y.shape[0]))
+            res = unpad_from_soti(
+                y,
+                self.nt,
+                config.unpad,
+                device=self.device,
+                phase="unpad",
+                workspace=None if dest is not None else ws,
+                out=dest,
             )
-        return out.astype(np.float64, copy=False)
+        return self._finalize(res, out, detach=detach)
 
     def _pipeline_block(
         self,
         v_in: np.ndarray,
         config: PrecisionConfig,
         adjoint: bool,
+        out: Optional[np.ndarray] = None,
+        detach: bool = True,
     ) -> np.ndarray:
         """Blocked pipeline: all ``k`` RHS in one pass per phase.
 
         Forward: v_in is (Nt, Nm, k); output (Nt, Nd, k); GEMM op = N.
         Adjoint: v_in is (Nt, Nd, k); output (Nt, Nm, k); GEMM op = C.
+        ``out`` (float64, (Nt, ny, k)) receives the result in place;
+        ``detach=False`` may return an arena buffer (internal callers
+        only — it is overwritten by this engine's next apply).
 
         The k columns ride along as an extra inner dimension of the
         "space" axis: pad/FFT/reorder treat ``nx * k`` fused columns (the
@@ -318,25 +494,37 @@ class FFTMatvec:
         operation = Operation.C if adjoint else Operation.N
         nt, nx, k = v_in.shape
         ny = self.nm if adjoint else self.nd
+        ws = self.workspace
+        if ws is not None:
+            ws.reset()  # apply boundary: every site re-acquires its buffer
 
         # Phase 1: one pad kernel over all k vectors (batch = k * space).
         with self._phase_ctx("pad"):
             x = pad_to_soti(
-                v_in.reshape(nt, nx * k), config.pad, device=self.device, phase="pad"
+                v_in.reshape(nt, nx * k),
+                config.pad,
+                device=self.device,
+                phase="pad",
+                workspace=ws,
             )
 
         # Phase 2: one batched forward FFT, batch = k * space.
         with self._phase_ctx("fft"):
-            x = cast_to(x, config.fft)
+            x = self._maybe_cast(x, config.fft, "cast_fft")
             plan = self._plan("fwd", config.fft, batch=x.shape[0])
-            xhat = plan.execute(x, phase="fft")
+            xhat = plan.execute(x, phase="fft", workspace=ws)
 
         reorder_prec = config.reorder_precision("fft", "sbgemv")
         with self._phase_ctx("sbgemv"):
             vhat = soti_to_tosi(
-                xhat, precision=reorder_prec, device=self.device, phase="sbgemv"
+                xhat,
+                precision=reorder_prec,
+                device=self.device,
+                phase="sbgemv",
+                workspace=ws,
+                tag="fwd_reorder",
             )
-            vhat = cast_to(vhat, config.sbgemv)
+            vhat = self._maybe_cast(vhat, config.sbgemv, "cast_sbgemv")
             if vhat.dtype != complex_dtype(config.sbgemv):
                 raise ReproError("internal: SBGEMM input precision mismatch")
             # Phase 3: per-frequency (nx, k) panels through one GEMM.
@@ -349,47 +537,68 @@ class FFTMatvec:
                 precision=reorder_prec,
                 device=self.device,
                 phase="sbgemv",
+                workspace=ws,
+                tag="bwd_reorder",
             )
 
         # Phase 4: one batched inverse FFT, batch = k * space.
         with self._phase_ctx("ifft"):
-            yhat = cast_to(yhat, config.ifft)
+            yhat = self._maybe_cast(yhat, config.ifft, "cast_ifft")
             plan = self._plan("inv", config.ifft, batch=yhat.shape[0])
-            y = plan.inverse(yhat, phase="ifft")
+            y = plan.inverse(yhat, phase="ifft", workspace=ws)
 
         # Phase 5: one unpad kernel over all k vectors.
         with self._phase_ctx("unpad"):
-            out = unpad_from_soti(
-                y, self.nt, config.unpad, device=self.device, phase="unpad"
+            dest = self._unpad_dest(config, out, (self.nt, y.shape[0]))
+            res = unpad_from_soti(
+                y,
+                self.nt,
+                config.unpad,
+                device=self.device,
+                phase="unpad",
+                workspace=None if dest is not None else ws,
+                out=dest,
             )
-        return out.reshape(nt, ny, k).astype(np.float64, copy=False)
+        return self._finalize(res.reshape(nt, ny, k), out, detach=detach)
 
     # -- public API ----------------------------------------------------------
+    def _check_out(self, out: Optional[np.ndarray], shape: Tuple[int, ...]):
+        """Validate a caller-supplied output buffer (float64, contiguous)."""
+        return check_out_buffer(out, shape)
+
     def matvec(
         self,
         m: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute ``d = F m``.
 
         ``m`` is a double-precision ``(Nt, Nm)`` array (or flat vector);
-        the result is a double-precision ``(Nt, Nd)`` array.
+        the result is a double-precision ``(Nt, Nd)`` array.  ``out``
+        receives the result in a caller-owned buffer — combined with a
+        workspace arena, repeated applies are allocation-free.
         """
         cfg = PrecisionConfig.parse(config)
         mm = self.matrix.check_input(m).astype(np.float64, copy=False)
-        out = self._timed(lambda: self._pipeline(mm, cfg, adjoint=False), str(cfg))
-        return out
+        out = self._check_out(out, (self.nt, self.nd))
+        return self._timed(
+            lambda: self._pipeline(mm, cfg, adjoint=False, out=out), str(cfg)
+        )
 
     def rmatvec(
         self,
         d: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute ``m = F* d`` (adjoint/conjugate-transpose matvec)."""
         cfg = PrecisionConfig.parse(config)
         dd = self.matrix.check_output(d).astype(np.float64, copy=False)
-        out = self._timed(lambda: self._pipeline(dd, cfg, adjoint=True), str(cfg))
-        return out
+        out = self._check_out(out, (self.nt, self.nm))
+        return self._timed(
+            lambda: self._pipeline(dd, cfg, adjoint=True, out=out), str(cfg)
+        )
 
     # -- blocked multi-RHS API -------------------------------------------------
     def _check_block(self, V: np.ndarray, nx: int, what: str) -> np.ndarray:
@@ -400,6 +609,7 @@ class FFTMatvec:
         self,
         M: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute ``D = F M`` for a block of ``k`` parameter vectors.
 
@@ -407,25 +617,28 @@ class FFTMatvec:
         result is ``(Nt, Nd, k)`` with column ``j`` equal to
         ``matvec(M[:, :, j])`` up to rounding.  All k vectors share one
         pad, one batched FFT, one strided-batched GEMM per pass and one
-        inverse FFT — see the module docstring.  ``matvec_count``
+        inverse FFT — see the module docstring.  ``out`` (``(Nt, Nd,
+        k)`` float64) receives the result in place.  ``matvec_count``
         advances by ``k`` (logical operator actions); ``matmat_count``
         by one (pipeline passes).
         """
         cfg = PrecisionConfig.parse(config)
         mm = self._check_block(M, self.nm, "parameter")
         k = mm.shape[2]
-        out = self._timed(
-            lambda: self._pipeline_block(mm, cfg, adjoint=False),
+        out = self._check_out(out, (self.nt, self.nd, k))
+        res = self._timed(
+            lambda: self._pipeline_block(mm, cfg, adjoint=False, out=out),
             f"{cfg}[k={k}]",
         )
         self.matvec_count += k - 1  # _timed already counted one
         self.matmat_count += 1
-        return out
+        return res
 
     def rmatmat(
         self,
         D: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute ``M = F* D`` for a block of ``k`` data vectors.
 
@@ -435,13 +648,14 @@ class FFTMatvec:
         cfg = PrecisionConfig.parse(config)
         dd = self._check_block(D, self.nd, "data")
         k = dd.shape[2]
-        out = self._timed(
-            lambda: self._pipeline_block(dd, cfg, adjoint=True),
+        out = self._check_out(out, (self.nt, self.nm, k))
+        res = self._timed(
+            lambda: self._pipeline_block(dd, cfg, adjoint=True, out=out),
             f"{cfg}[k={k}]",
         )
         self.matvec_count += k - 1
         self.matmat_count += 1
-        return out
+        return res
 
     def _timed(self, fn, label: str) -> np.ndarray:
         if self.device is None:

@@ -79,10 +79,16 @@ from repro.core.precision import PrecisionConfig
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.specs import GPUSpec, get_gpu
-from repro.util.blocking import check_block, chunk_ranges, validate_max_block_k
-from repro.util.dtypes import cast_to
+from repro.util.blocking import (
+    check_block,
+    check_out_buffer,
+    chunk_ranges,
+    validate_max_block_k,
+)
+from repro.util.dtypes import cast_to, real_dtype
 from repro.util.timing import SimClock, Stream, Timeline, TimingReport
 from repro.util.validation import ReproError
+from repro.util.workspace import Workspace
 
 __all__ = ["ParallelFFTMatvec"]
 
@@ -176,6 +182,14 @@ class ParallelFFTMatvec:
         extents (lists of contiguous ``(start, stop)``, one per grid
         row / column).  Defaults to the balanced ceil-based split; pass
         :func:`repro.comm.partition.skewed_extents` to study skew.
+    workspace:
+        ``True`` gives every rank engine its own
+        :class:`~repro.util.workspace.Workspace` arena (registered with
+        the rank device's allocator when instrumented) plus a grid-level
+        arena for broadcast payloads, receive buffers and reduce
+        staging.  The chunk loop then reuses ping-pong payload buffers
+        across chunks instead of re-``ascontiguousarray``-ing each one.
+        Numerics are bitwise-identical with the arena on or off.
     """
 
     def __init__(
@@ -188,6 +202,7 @@ class ParallelFFTMatvec:
         overlap: bool = True,
         row_ranges: Optional[Sequence[Tuple[int, int]]] = None,
         col_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+        workspace: Union[None, bool] = None,
     ) -> None:
         self.matrix = (
             matrix
@@ -225,6 +240,16 @@ class ParallelFFTMatvec:
         self.rank_specs = _normalize_rank_specs(spec, grid.pr, grid.pc)
         self.devices: Dict[Tuple[int, int], Optional[SimulatedDevice]] = {}
         self.engines: Dict[Tuple[int, int], FFTMatvec] = {}
+        if workspace is not None and not isinstance(workspace, bool):
+            # A single Workspace instance cannot serve the grid: every
+            # rank engine needs its own arena (checkout keys would
+            # collide across ranks).  Refuse rather than silently
+            # ignoring the caller's instance.
+            raise ReproError(
+                "ParallelFFTMatvec builds one arena per rank engine plus a "
+                "grid arena; pass workspace=True, not a Workspace instance"
+            )
+        use_workspace = bool(workspace)
         for r in range(grid.pr):
             r0, r1 = self._row_ranges[r]
             for c in range(grid.pc):
@@ -241,7 +266,15 @@ class ParallelFFTMatvec:
                     BlockTriangularToeplitz(local),
                     device=dev,
                     use_optimized_sbgemv=use_optimized_sbgemv,
+                    workspace=use_workspace,
                 )
+        # Grid-level arena: broadcast payload staging, per-rank receive
+        # buffers and float64 input staging shared by the chunk loop and
+        # the vector path (per-rank pipeline buffers live in each
+        # engine's own arena).
+        self.workspace: Optional[Workspace] = (
+            Workspace(name="grid") if use_workspace else None
+        )
         self.device = self.devices[(0, 0)]
         if spec is not None:
             # One-time spectrum setup happens on every rank concurrently;
@@ -311,7 +344,66 @@ class ParallelFFTMatvec:
             for rc, dev in self.devices.items()
         }
 
+    def workspace_report(self) -> Dict[str, object]:
+        """Arena footprint across the grid (requires ``workspace=True``).
+
+        Returns the grid-level arena's size plus, per rank, the engine
+        arena's bytes/buffers and the rank DeviceAllocator's peak — the
+        modeled persistent device footprint of the allocation-free hot
+        path, a first-class capacity-planning field.
+        """
+        if self.workspace is None:
+            raise ReproError(
+                "workspace_report requires the engine to be constructed "
+                "with workspace=True"
+            )
+        ranks: Dict[str, Dict[str, Optional[int]]] = {}
+        for rc, engine in self.engines.items():
+            ws = engine.workspace
+            dev = self.devices[rc]
+            assert ws is not None
+            ranks[f"{rc[0]},{rc[1]}"] = {
+                "arena_bytes": ws.nbytes,
+                "arena_buffers": ws.buffer_count,
+                "registered_bytes": ws.registered_bytes,
+                "allocator_peak_bytes": (
+                    dev.allocator.peak if dev is not None else None
+                ),
+            }
+        rank_total = sum(
+            e.workspace.nbytes for e in self.engines.values()  # type: ignore[union-attr]
+        )
+        return {
+            "grid_arena_bytes": self.workspace.nbytes,
+            "grid_arena_buffers": self.workspace.buffer_count,
+            "rank_arenas": ranks,
+            "total_arena_bytes": self.workspace.nbytes + rank_total,
+        }
+
     # -- helpers ------------------------------------------------------------
+    def _stage_payload(self, block: np.ndarray, prec, tag: str) -> np.ndarray:
+        """Contiguous Phase-1 payload at the broadcast precision.
+
+        The reference path re-``ascontiguousarray``s (and casts) per
+        call; with the arena the strided block is copied-with-cast into
+        a persistent buffer — same bytes, no allocation.
+        """
+        if self.workspace is None:
+            return cast_to(np.ascontiguousarray(block), prec)
+        buf = self.workspace.buffer(tag, block.shape, real_dtype(prec))
+        buf[...] = block
+        return buf
+
+    def _as_input64(self, arr: np.ndarray, tag: str) -> np.ndarray:
+        """Present a broadcast copy to the rank engines as float64."""
+        if arr.dtype == np.float64:
+            return arr
+        if self.workspace is None:
+            return np.asarray(arr, dtype=np.float64)
+        buf = self.workspace.buffer(tag, arr.shape, np.float64)
+        buf[...] = arr
+        return buf
+
     def _timed_col(self, c: int) -> SimCommunicator:
         return self.grid.col_comm(0) if c == self._timed_col_idx else self._silent_col
 
@@ -389,27 +481,32 @@ class ParallelFFTMatvec:
         cfg = PrecisionConfig.parse(config)
         mm = self.matrix.check_input(m).astype(np.float64, copy=False)
         before = self._snapshot()
+        if self.workspace is not None:
+            self.workspace.reset()
 
         # Phase 1 communication: broadcast each column's parameter block
         # down its pr ranks, in Phase 1's precision (comm volume follows).
         col_blocks: Dict[int, np.ndarray] = {}
         for c in range(self.grid.pc):
             c0, c1 = self._col_ranges[c]
-            payload = cast_to(np.ascontiguousarray(mm[:, c0:c1]), cfg.pad)
-            copies = self._timed_col(c).bcast(payload, root=0, phase="pad")
-            col_blocks[c] = copies[0]
+            payload = self._stage_payload(mm[:, c0:c1], cfg.pad, f"pay/c{c}")
+            copies = self._timed_col(c).bcast(
+                payload, root=0, phase="pad", workspace=self.workspace, tag=f"recv/c{c}"
+            )
+            col_blocks[c] = self._as_input64(copies[0], f"in64/c{c}")
 
         # Local five-phase pipelines on every rank; wall = max over ranks.
         partials, compute = self._rank_compute(
             lambda r, c, engine: engine._pipeline(
-                np.asarray(col_blocks[c], dtype=np.float64), cfg, adjoint=False
+                col_blocks[c], cfg, adjoint=False, detach=False
             )
         )
         self._charge_compute(compute)
 
         # Phase 5 communication: tree-reduce each row's partial data
-        # block over its pc ranks in Phase 5's precision.
-        out = np.zeros((self.nt, self.nd))
+        # block over its pc ranks in Phase 5's precision.  The gather
+        # target is fully overwritten, one row range at a time.
+        out = np.empty((self.nt, self.nd))
         for r in range(self.grid.pr):
             r0, r1 = self._row_ranges[r]
             contribs = [
@@ -418,7 +515,7 @@ class ParallelFFTMatvec:
             reduced = self._timed_row(r).reduce(
                 contribs, root=0, precision=cfg.unpad, phase="unpad"
             )
-            out[:, r0:r1] = np.asarray(reduced, dtype=np.float64)
+            out[:, r0:r1] = reduced
 
         self._record(before, f"{cfg} F ({self.grid.pr}x{self.grid.pc})")
         self.matvec_count += 1
@@ -432,24 +529,28 @@ class ParallelFFTMatvec:
         cfg = PrecisionConfig.parse(config)
         dd = self.matrix.check_output(d).astype(np.float64, copy=False)
         before = self._snapshot()
+        if self.workspace is not None:
+            self.workspace.reset()
 
         # Phase 1: broadcast each row's data block across its pc ranks.
         row_blocks: Dict[int, np.ndarray] = {}
         for r in range(self.grid.pr):
             r0, r1 = self._row_ranges[r]
-            payload = cast_to(np.ascontiguousarray(dd[:, r0:r1]), cfg.pad)
-            copies = self._timed_row(r).bcast(payload, root=0, phase="pad")
-            row_blocks[r] = copies[0]
+            payload = self._stage_payload(dd[:, r0:r1], cfg.pad, f"pay/r{r}")
+            copies = self._timed_row(r).bcast(
+                payload, root=0, phase="pad", workspace=self.workspace, tag=f"recv/r{r}"
+            )
+            row_blocks[r] = self._as_input64(copies[0], f"in64/r{r}")
 
         partials, compute = self._rank_compute(
             lambda r, c, engine: engine._pipeline(
-                np.asarray(row_blocks[r], dtype=np.float64), cfg, adjoint=True
+                row_blocks[r], cfg, adjoint=True, detach=False
             )
         )
         self._charge_compute(compute)
 
         # Phase 5: reduce each column's partial parameter block over pr.
-        out = np.zeros((self.nt, self.nm))
+        out = np.empty((self.nt, self.nm))
         for c in range(self.grid.pc):
             c0, c1 = self._col_ranges[c]
             contribs = [
@@ -458,7 +559,7 @@ class ParallelFFTMatvec:
             reduced = self._timed_col(c).reduce(
                 contribs, root=0, precision=cfg.unpad, phase="unpad"
             )
-            out[:, c0:c1] = np.asarray(reduced, dtype=np.float64)
+            out[:, c0:c1] = reduced
 
         self._record(before, f"{cfg} F* ({self.grid.pr}x{self.grid.pc})")
         self.matvec_count += 1
@@ -475,27 +576,42 @@ class ParallelFFTMatvec:
         cfg: PrecisionConfig,
         adjoint: bool,
         stream: Optional[Stream],
+        slot: int = 0,
     ) -> Tuple[Dict[int, np.ndarray], float]:
         """Phase 1 communication for one chunk: ONE batched broadcast per
         grid column (row for the adjoint) carries the whole
         ``(Nt, n_local, kc)`` block in Phase 1's precision — volume scales
         by kc, the log2 latency tree is paid once for the chunk.
 
-        Returns the per-column (per-row) broadcast copies and the modeled
-        time charged (onto ``stream`` when given, else the grid clock).
+        With the arena, payload and receive buffers are persistent and
+        keyed by ``slot`` — the overlapped schedule ping-pongs between
+        two slots (``i % 2``) so the prefetched chunk ``i + 1`` never
+        shares buffers with the chunk ``i`` payload still in flight,
+        while chunk ``i + 2`` reuses chunk ``i``'s.  Returns the
+        per-column (per-row) broadcast copies and the modeled time
+        charged (onto ``stream`` when given, else the grid clock).
         """
         in_ranges = self._row_ranges if adjoint else self._col_ranges
         in_comm = self._timed_row if adjoint else self._timed_col
         n_in = self.grid.pr if adjoint else self.grid.pc
+        axis = "r" if adjoint else "c"
         t0 = stream.cursor if stream is not None else self.grid.clock.now
         in_blocks: Dict[int, np.ndarray] = {}
         for i in range(n_in):
             i0, i1 = in_ranges[i]
-            payload = cast_to(np.ascontiguousarray(chunk[:, i0:i1, :]), cfg.pad)
+            payload = self._stage_payload(
+                chunk[:, i0:i1, :], cfg.pad, f"pay[{slot}]/{axis}{i}"
+            )
             cobj = in_comm(i)
             with cobj.on_stream(stream if cobj.clock is not None else None):
-                copies = cobj.bcast(payload, root=0, phase="pad")
-            in_blocks[i] = copies[0]
+                copies = cobj.bcast(
+                    payload,
+                    root=0,
+                    phase="pad",
+                    workspace=self.workspace,
+                    tag=f"recv[{slot}]/{axis}{i}",
+                )
+            in_blocks[i] = self._as_input64(copies[0], f"in64[{slot}]/{axis}{i}")
         t1 = stream.cursor if stream is not None else self.grid.clock.now
         return in_blocks, t1 - t0
 
@@ -511,9 +627,10 @@ class ParallelFFTMatvec:
         charged onto ``stream`` (or the grid clock)."""
         partials, compute = self._rank_compute(
             lambda r, c, engine: engine._pipeline_block(
-                np.asarray(in_blocks[r if adjoint else c], dtype=np.float64),
+                in_blocks[r if adjoint else c],
                 cfg,
                 adjoint=adjoint,
+                detach=False,
             )
         )
         self._charge_compute(compute, stream=stream)
@@ -522,19 +639,20 @@ class ParallelFFTMatvec:
     def _chunk_reduce(
         self,
         partials: Dict[Tuple[int, int], np.ndarray],
-        kc: int,
+        out: np.ndarray,
         cfg: PrecisionConfig,
         adjoint: bool,
         stream: Optional[Stream],
-    ) -> np.ndarray:
+    ) -> None:
         """Phase 5 communication for one chunk: ONE batched tree-reduce
         per grid row (column for the adjoint); the eps5 * log2
-        accumulation applies elementwise to every column of the block."""
+        accumulation applies elementwise to every column of the block.
+        The reduced rows land directly in ``out`` — the caller's
+        ``(Nt, ny, kc)`` output view — with no intermediate gather
+        buffer."""
         out_ranges = self._col_ranges if adjoint else self._row_ranges
         out_comm = self._timed_col if adjoint else self._timed_row
         n_out = self.grid.pc if adjoint else self.grid.pr
-        ny = self.nm if adjoint else self.nd
-        out = np.zeros((self.nt, ny, kc))
         for o in range(n_out):
             o0, o1 = out_ranges[o]
             if adjoint:
@@ -552,8 +670,7 @@ class ParallelFFTMatvec:
                 reduced = cobj.reduce(
                     contribs, root=0, precision=cfg.unpad, phase="unpad"
                 )
-            out[:, o0:o1, :] = np.asarray(reduced, dtype=np.float64)
-        return out
+            out[:, o0:o1, :] = reduced
 
     def _matmat_serial(
         self,
@@ -565,12 +682,14 @@ class ParallelFFTMatvec:
     ) -> None:
         """Serial charge: broadcast → compute → reduce per chunk, in
         program order on the grid clock (the pre-timeline model)."""
-        for j0, j1 in ranges:
+        for i, (j0, j1) in enumerate(ranges):
             chunk = VV[:, :, j0:j1]
-            in_blocks, _ = self._chunk_bcast(chunk, cfg, adjoint, stream=None)
+            in_blocks, _ = self._chunk_bcast(
+                chunk, cfg, adjoint, stream=None, slot=i % 2
+            )
             partials = self._chunk_compute(in_blocks, cfg, adjoint, stream=None)
-            out[:, :, j0:j1] = self._chunk_reduce(
-                partials, j1 - j0, cfg, adjoint, stream=None
+            self._chunk_reduce(
+                partials, out[:, :, j0:j1], cfg, adjoint, stream=None
             )
 
     def _matmat_overlapped(
@@ -596,7 +715,7 @@ class ParallelFFTMatvec:
         exposed = self.grid.net.exposed_fraction()
 
         in_blocks, _ = self._chunk_bcast(
-            VV[:, :, ranges[0][0] : ranges[0][1]], cfg, adjoint, stream=comm_s
+            VV[:, :, ranges[0][0] : ranges[0][1]], cfg, adjoint, stream=comm_s, slot=0
         )
         ev_bcast = comm_s.record("bcast[0]")
         reduce_tax = 0.0  # exposed share of the previous chunk's reduce
@@ -609,8 +728,11 @@ class ParallelFFTMatvec:
             partials = self._chunk_compute(in_blocks, cfg, adjoint, stream=comp_s)
             if i + 1 < len(ranges):
                 n0, n1 = ranges[i + 1]
+                # Prefetch into the other ping-pong slot: chunk i's
+                # payload buffers stay live while chunk i+1's broadcast
+                # is in flight, exactly as on the real machine.
                 in_blocks, t_next = self._chunk_bcast(
-                    VV[:, :, n0:n1], cfg, adjoint, stream=comm_s
+                    VV[:, :, n0:n1], cfg, adjoint, stream=comm_s, slot=(i + 1) % 2
                 )
                 ev_bcast = comm_s.record(f"bcast[{i + 1}]")
                 if exposed > 0.0:
@@ -619,8 +741,8 @@ class ParallelFFTMatvec:
             ev_compute = comp_s.record(f"compute[{i}]")
             comm_s.wait(ev_compute)
             c0 = comm_s.cursor
-            out[:, :, j0:j1] = self._chunk_reduce(
-                partials, j1 - j0, cfg, adjoint, stream=comm_s
+            self._chunk_reduce(
+                partials, out[:, :, j0:j1], cfg, adjoint, stream=comm_s
             )
             # This reduce overlaps the *next* chunk's compute (if any).
             reduce_tax = (
@@ -635,6 +757,7 @@ class ParallelFFTMatvec:
         max_block_k: Optional[int],
         adjoint: bool,
         overlap: Optional[bool],
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         cfg = PrecisionConfig.parse(config)
         nx = self.nd if adjoint else self.nm
@@ -650,7 +773,11 @@ class ParallelFFTMatvec:
         before = self._snapshot()
         t_start = self.grid.clock.now
         ny = self.nm if adjoint else self.nd
-        out = np.empty((self.nt, ny, k))
+        if self.workspace is not None:
+            self.workspace.reset()
+        out = check_out_buffer(out, (self.nt, ny, k))
+        if out is None:
+            out = np.empty((self.nt, ny, k))
         if use_overlap:
             self._matmat_overlapped(VV, out, ranges, cfg, adjoint)
         else:
@@ -673,6 +800,7 @@ class ParallelFFTMatvec:
         config: Union[str, PrecisionConfig] = "ddddd",
         max_block_k: Optional[int] = None,
         overlap: Optional[bool] = None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute ``D = F M`` for k parameter vectors across the grid.
 
@@ -688,8 +816,13 @@ class ParallelFFTMatvec:
         advances by ``k`` (logical actions), ``matmat_count`` by the
         chunk count; ``last_timing.wall`` holds the schedule's critical
         path, ``last_timing.phases`` the work charged per phase.
+        ``out`` (``(Nt, Nd, k)`` float64, C-contiguous) receives the
+        result in place — with ``workspace=True`` repeated applies are
+        allocation-free at steady state.
         """
-        return self._matmat_impl(M, config, max_block_k, adjoint=False, overlap=overlap)
+        return self._matmat_impl(
+            M, config, max_block_k, adjoint=False, overlap=overlap, out=out
+        )
 
     def rmatmat(
         self,
@@ -697,6 +830,7 @@ class ParallelFFTMatvec:
         config: Union[str, PrecisionConfig] = "ddddd",
         max_block_k: Optional[int] = None,
         overlap: Optional[bool] = None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute ``M = F* D`` for k data vectors across the grid.
 
@@ -704,4 +838,6 @@ class ParallelFFTMatvec:
         chunk (the column reduce crosses machine groups, so hiding its
         latency behind compute matters most).  See :meth:`matmat`.
         """
-        return self._matmat_impl(D, config, max_block_k, adjoint=True, overlap=overlap)
+        return self._matmat_impl(
+            D, config, max_block_k, adjoint=True, overlap=overlap, out=out
+        )

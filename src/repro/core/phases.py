@@ -7,6 +7,14 @@ padding of the inverse transform's output and converts back to
 time-outer layout.  Both are pure memory operations executed in the
 phase's configured precision, with any cast fused into the same kernel
 (the write side simply uses the target dtype).
+
+Both kernels take an optional :class:`~repro.util.workspace.Workspace`:
+with an arena the output is written into a persistent checked-out
+buffer instead of a fresh allocation (the pad only re-zeros the padding
+half; the data half is fully overwritten), and ``unpad_from_soti`` can
+additionally write straight into a caller-supplied ``out`` buffer.  The
+values produced are bitwise-identical with the arena on or off — a
+direct cast-on-assignment rounds exactly like ``astype``.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
 from repro.util.dtypes import Precision, real_dtype
 from repro.util.validation import ReproError
+from repro.util.workspace import Workspace
 
 __all__ = ["pad_to_soti", "unpad_from_soti"]
 
@@ -51,11 +60,15 @@ def pad_to_soti(
     precision: Precision,
     device: Optional[SimulatedDevice] = None,
     phase: str = "pad",
+    workspace: Optional[Workspace] = None,
 ) -> np.ndarray:
     """Phase-1 kernel: (Nt, nx) time-outer -> (nx, 2*Nt) padded SOTI.
 
     The output dtype is the phase's precision — the cast (if any) is
-    fused into the pad kernel's writes.
+    fused into the pad kernel's writes.  With a ``workspace`` the output
+    is a checked-out arena buffer: the data half is fully overwritten
+    and only the padding half is re-zeroed, no allocation at steady
+    state.
     """
     a = np.asarray(v)
     if a.ndim != 2:
@@ -64,10 +77,19 @@ def pad_to_soti(
         raise ReproError("pad operates on real time-domain vectors")
     nt, nx = a.shape
     dt = real_dtype(precision)
-    out = np.zeros((nx, 2 * nt), dtype=dt)
+    if workspace is None:
+        out = np.zeros((nx, 2 * nt), dtype=dt)
+    else:
+        # The pad kernel is this buffer's only writer, so the zero
+        # padding half written on first use survives every reuse — only
+        # a fresh buffer needs the memset.
+        out, fresh = workspace.checkout_fresh(phase, (nx, 2 * nt), dt)
+        if fresh:
+            out[:, nt:] = 0.0
     # Transpose+cast in one logical kernel: each output row is one
-    # spatial point's time series followed by Nt zeros.
-    out[:, :nt] = a.T.astype(dt, copy=False)
+    # spatial point's time series followed by Nt zeros (the assignment
+    # casts on the write side — no staging temporary).
+    out[:, :nt] = a.T
     _charge(
         device,
         "pad_zero",
@@ -85,8 +107,16 @@ def unpad_from_soti(
     precision: Precision,
     device: Optional[SimulatedDevice] = None,
     phase: str = "unpad",
+    workspace: Optional[Workspace] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Phase-5 kernel: (nx, 2*Nt) padded SOTI -> (Nt, nx) time-outer."""
+    """Phase-5 kernel: (nx, 2*Nt) padded SOTI -> (Nt, nx) time-outer.
+
+    ``out`` (shape ``(nt, nx)``, dtype of the phase precision) writes the
+    result into a caller-owned buffer; ``workspace`` writes into a
+    checked-out arena buffer.  Both produce the bytes of the default
+    allocate-per-call path.
+    """
     a = np.asarray(v)
     if a.ndim != 2:
         raise ReproError(f"unpad expects a 2-D (nx, 2*Nt) vector, got {a.shape}")
@@ -95,7 +125,18 @@ def unpad_from_soti(
             f"unpad expects padded length {2 * nt}, got {a.shape[1]}"
         )
     dt = real_dtype(precision)
-    out = np.ascontiguousarray(a[:, :nt].T).astype(dt, copy=False)
+    if out is not None:
+        if out.shape != (nt, a.shape[0]) or out.dtype != dt:
+            raise ReproError(
+                f"unpad out buffer must be {(nt, a.shape[0])} {dt}, "
+                f"got {out.shape} {out.dtype}"
+            )
+        out[...] = a[:, :nt].T
+    elif workspace is not None:
+        out = workspace.checkout(phase, (nt, a.shape[0]), dt)
+        out[...] = a[:, :nt].T
+    else:
+        out = np.ascontiguousarray(a[:, :nt].T).astype(dt, copy=False)
     _charge(
         device,
         "unpad",

@@ -13,6 +13,12 @@ The conversions are pure memory operations (transposes).  Per paper
 footnote 8 they execute in the lowest precision of the adjacent compute
 phases and fuse any required cast into the same kernel — the cast is a
 dtype change on the transpose's write side, not an extra pass.
+
+With a :class:`~repro.util.workspace.Workspace` the transposed (and
+cast) output is written into a checked-out arena buffer — the fused
+write of the real kernel — instead of a fresh
+``ascontiguousarray``/``astype`` pair; the values are bitwise-identical
+either way.
 """
 
 from __future__ import annotations
@@ -24,8 +30,9 @@ import numpy as np
 from repro.gpu.bandwidth import stream_efficiency
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
-from repro.util.dtypes import Precision, cast_to
+from repro.util.dtypes import Precision, cast_to, complex_dtype, real_dtype
 from repro.util.validation import ReproError
+from repro.util.workspace import Workspace
 
 __all__ = ["tosi_to_soti", "soti_to_tosi", "reorder_bytes"]
 
@@ -62,21 +69,49 @@ def _charge_reorder(
     device.launch(kernel, phase=phase)
 
 
+def _reorder(
+    v: np.ndarray,
+    precision: Optional[Precision],
+    device: Optional[SimulatedDevice],
+    phase: str,
+    workspace: Optional[Workspace],
+    tag: str,
+    kernel_name: str,
+) -> np.ndarray:
+    a = np.asarray(v)
+    if a.ndim != 2:
+        raise ReproError(f"reorder expects a 2-D block vector, got ndim={a.ndim}")
+    if workspace is not None:
+        if precision is None:
+            dt = a.dtype
+        else:
+            dt = (
+                complex_dtype(precision)
+                if np.iscomplexobj(a)
+                else real_dtype(precision)
+            )
+        out = workspace.checkout(tag, (a.shape[1], a.shape[0]), dt)
+        out[...] = a.T  # fused transpose + cast on the write side
+    else:
+        out = np.ascontiguousarray(a.T)
+        if precision is not None:
+            out = cast_to(out, precision)
+    _charge_reorder(device, kernel_name, a, out, phase)
+    return out
+
+
 def tosi_to_soti(
     v: np.ndarray,
     precision: Optional[Precision] = None,
     device: Optional[SimulatedDevice] = None,
     phase: str = "reorder",
+    workspace: Optional[Workspace] = None,
+    tag: str = "tosi_to_soti",
 ) -> np.ndarray:
     """(time, space) -> (space, time), optionally casting (fused)."""
-    a = np.asarray(v)
-    if a.ndim != 2:
-        raise ReproError(f"reorder expects a 2-D block vector, got ndim={a.ndim}")
-    out = np.ascontiguousarray(a.T)
-    if precision is not None:
-        out = cast_to(out, precision)
-    _charge_reorder(device, "reorder_tosi_to_soti", a, out, phase)
-    return out
+    return _reorder(
+        v, precision, device, phase, workspace, tag, "reorder_tosi_to_soti"
+    )
 
 
 def soti_to_tosi(
@@ -84,13 +119,10 @@ def soti_to_tosi(
     precision: Optional[Precision] = None,
     device: Optional[SimulatedDevice] = None,
     phase: str = "reorder",
+    workspace: Optional[Workspace] = None,
+    tag: str = "soti_to_tosi",
 ) -> np.ndarray:
     """(space, time) -> (time, space), optionally casting (fused)."""
-    a = np.asarray(v)
-    if a.ndim != 2:
-        raise ReproError(f"reorder expects a 2-D block vector, got ndim={a.ndim}")
-    out = np.ascontiguousarray(a.T)
-    if precision is not None:
-        out = cast_to(out, precision)
-    _charge_reorder(device, "reorder_soti_to_tosi", a, out, phase)
-    return out
+    return _reorder(
+        v, precision, device, phase, workspace, tag, "reorder_soti_to_tosi"
+    )

@@ -17,7 +17,32 @@ import numpy as np
 
 from repro.util.validation import ReproError, check_positive_int
 
-__all__ = ["chunk_ranges", "n_chunks", "validate_max_block_k", "check_block"]
+__all__ = [
+    "chunk_ranges",
+    "n_chunks",
+    "validate_max_block_k",
+    "check_block",
+    "check_out_buffer",
+]
+
+
+def check_out_buffer(out, shape: tuple, what: str = "out"):
+    """Validate a caller-supplied output buffer, or pass through ``None``.
+
+    The single definition of the ``out=`` contract shared by the
+    single-device and grid engines: exact ``shape``, float64,
+    C-contiguous, writeable.
+    """
+    if out is None:
+        return None
+    if out.shape != tuple(shape) or out.dtype != np.float64:
+        raise ReproError(
+            f"{what} buffer must be {tuple(shape)} float64, "
+            f"got {out.shape} {out.dtype}"
+        )
+    if not out.flags["C_CONTIGUOUS"] or not out.flags["WRITEABLE"]:
+        raise ReproError(f"{what} buffer must be C-contiguous and writeable")
+    return out
 
 
 def check_block(V, nt: int, nx: int, what: str) -> np.ndarray:

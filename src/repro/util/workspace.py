@@ -1,0 +1,199 @@
+"""Workspace arena: allocation-free hot paths for the matvec engines.
+
+The paper's production code runs the pad → FFT → SBGEMM → IFFT → unpad
+pipeline out of *persistent* device buffers — nothing is ``cudaMalloc``'d
+per apply.  This module is the reproduction's counterpart: a
+:class:`Workspace` is a per-engine arena of reusable NumPy buffers keyed
+by ``(tag, shape, dtype)``, so iterative consumers (block-CG, randomized
+posterior eig/sampling, the OED greedy loop — thousands of applies)
+stop paying Python/NumPy allocation churn on every phase of every apply.
+
+Two handout disciplines, both backed by the same keyed pools:
+
+* :meth:`Workspace.checkout` — *per-apply* slots.  The n-th checkout of
+  a key since the last :meth:`~Workspace.reset` returns the n-th buffer
+  of that key's pool (grown on demand).  An engine calls ``reset()`` at
+  the top of each apply, so every pipeline call site gets the same
+  buffer apply after apply, while a site that legitimately needs two
+  live buffers of one key (ping-pong) just checks the key out twice.
+* :meth:`Workspace.buffer` — *persistent* identity.  The same key always
+  returns the same buffer, across resets.  The grid engine's chunk loop
+  uses this with parity tags (``pay[i % 2]``) so chunk ``i + 1``'s
+  prefetched broadcast payload never collides with chunk ``i``'s live
+  one, while chunk ``i + 2`` reuses chunk ``i``'s buffers.
+
+Buffers are handed out **uninitialized** (``np.empty``); callers own the
+fill.  The arena only ever *grows*: a steady-state workload stops
+growing after its first (warm-up) apply, which is what
+``alloc_count`` measures and the allocation-regression tests assert.
+
+When constructed with a :class:`~repro.gpu.memory.DeviceAllocator`
+(e.g. ``device.allocator``), every arena buffer is registered as a live
+device allocation, so the allocator's ``peak`` reflects the modeled
+device footprint of the persistent workspace — a first-class report
+field for capacity planning.  :meth:`Workspace.release` frees the
+registrations (and drops the buffers), letting leak checks pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.memory import Allocation, DeviceAllocator
+from repro.util.validation import ReproError
+
+__all__ = ["Workspace", "WorkspaceStats"]
+
+_Key = Tuple[str, Tuple[int, ...], np.dtype]
+
+
+@dataclass(frozen=True)
+class WorkspaceStats:
+    """Point-in-time arena counters (see :meth:`Workspace.stats`)."""
+
+    buffers: int  # distinct live buffers
+    nbytes: int  # sum of buffer sizes (exact, unaligned)
+    registered_bytes: int  # sum of allocator-registered sizes (aligned)
+    alloc_count: int  # buffers ever allocated (growth events)
+    checkout_count: int  # total handouts (hits + growth)
+    resets: int  # apply boundaries seen
+
+
+class Workspace:
+    """A keyed arena of reusable buffers with a checkout/reset discipline.
+
+    Parameters
+    ----------
+    allocator:
+        Optional :class:`DeviceAllocator` to register arena buffers
+        with, so the modeled device peak includes the arena footprint.
+    name:
+        Label used in allocator tags and reprs.
+    """
+
+    def __init__(
+        self, allocator: Optional[DeviceAllocator] = None, name: str = "workspace"
+    ) -> None:
+        self.allocator = allocator
+        self.name = name
+        self._pools: Dict[_Key, List[np.ndarray]] = {}
+        self._cursors: Dict[_Key, int] = {}
+        self._registered: List[Allocation] = []
+        self._registered_bytes = 0
+        self.alloc_count = 0
+        self.checkout_count = 0
+        self.resets = 0
+        self._released = False
+
+    # -- keying / growth -----------------------------------------------------
+    @staticmethod
+    def _key(tag: str, shape, dtype) -> _Key:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        return (str(tag), tuple(int(s) for s in shape), np.dtype(dtype))
+
+    def _grow(self, key: _Key) -> np.ndarray:
+        tag, shape, dtype = key
+        buf = np.empty(shape, dtype=dtype)
+        self.alloc_count += 1
+        if self.allocator is not None:
+            alloc = self.allocator.malloc(buf.nbytes, tag=f"{self.name}/{tag}")
+            self._registered.append(alloc)
+            self._registered_bytes += alloc.nbytes
+        return buf
+
+    def _handout(self, tag: str, shape, dtype, slot: int) -> Tuple[np.ndarray, bool]:
+        if self._released:
+            raise ReproError(f"workspace {self.name!r} has been released")
+        key = self._key(tag, shape, dtype)
+        pool = self._pools.setdefault(key, [])
+        fresh = slot >= len(pool)
+        while slot >= len(pool):
+            pool.append(self._grow(key))
+        self.checkout_count += 1
+        return pool[slot], fresh
+
+    # -- handout APIs --------------------------------------------------------
+    def checkout(self, tag: str, shape, dtype) -> np.ndarray:
+        """Per-apply slot: the n-th checkout of a key since ``reset()``
+        returns the n-th buffer of that key's pool (uninitialized)."""
+        return self.checkout_fresh(tag, shape, dtype)[0]
+
+    def checkout_fresh(self, tag: str, shape, dtype) -> Tuple[np.ndarray, bool]:
+        """Like :meth:`checkout`, also reporting whether the buffer was
+        just allocated.  A site that is the key's *only writer* can use
+        the flag to skip re-establishing an invariant it already wrote
+        (e.g. the pad kernel's zero padding half survives across
+        applies because nothing else touches that buffer).
+        """
+        key = self._key(tag, shape, dtype)
+        slot = self._cursors.get(key, 0)
+        self._cursors[key] = slot + 1
+        return self._handout(tag, shape, dtype, slot)
+
+    def buffer(self, tag: str, shape, dtype) -> np.ndarray:
+        """Persistent identity: the same key always returns the same
+        buffer, across resets (uninitialized on first handout)."""
+        return self._handout(tag, shape, dtype, 0)[0]
+
+    def reset(self) -> None:
+        """Mark an apply boundary: all checkout cursors return to 0.
+
+        Buffer contents are untouched — only the handout order restarts,
+        so every call site re-acquires the same buffer next apply.
+        """
+        if self._cursors:
+            self._cursors.clear()
+        self.resets += 1
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def buffer_count(self) -> int:
+        return sum(len(pool) for pool in self._pools.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Exact bytes held by arena buffers (unaligned)."""
+        return sum(b.nbytes for pool in self._pools.values() for b in pool)
+
+    @property
+    def registered_bytes(self) -> int:
+        """Bytes registered with the device allocator (alignment-rounded)."""
+        return self._registered_bytes
+
+    def stats(self) -> WorkspaceStats:
+        """Snapshot of the arena counters (sizes, growth, handouts)."""
+        return WorkspaceStats(
+            buffers=self.buffer_count,
+            nbytes=self.nbytes,
+            registered_bytes=self._registered_bytes,
+            alloc_count=self.alloc_count,
+            checkout_count=self.checkout_count,
+            resets=self.resets,
+        )
+
+    # -- lifetime ------------------------------------------------------------
+    def release(self) -> None:
+        """Drop all buffers and free their allocator registrations.
+
+        Idempotent; a released workspace refuses further handouts (the
+        engine owning it is being torn down).
+        """
+        if self._released:
+            return
+        for alloc in self._registered:
+            self.allocator.free(alloc)  # type: ignore[union-attr]
+        self._registered.clear()
+        self._registered_bytes = 0
+        self._pools.clear()
+        self._cursors.clear()
+        self._released = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workspace({self.name!r}, buffers={self.buffer_count}, "
+            f"nbytes={self.nbytes}, allocs={self.alloc_count})"
+        )
