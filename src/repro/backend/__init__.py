@@ -1,0 +1,37 @@
+"""Pluggable array backends for the five-phase pipeline.
+
+See :mod:`repro.backend.base` for the protocol and
+:mod:`repro.backend.registry` for the ``REPRO_BACKEND`` fallback chain.
+Importing this package never imports torch or cupy — device backend
+classes are loaded lazily when named.
+"""
+
+from repro.backend.base import (
+    Backend,
+    BackendFallbackWarning,
+    BackendUnavailableError,
+    host_empty,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    BACKEND_CHAIN,
+    available_backends,
+    get_default_backend,
+    reset_backend_state,
+    resolve_backend,
+    set_default_backend,
+)
+
+__all__ = [
+    "Backend",
+    "BackendFallbackWarning",
+    "BackendUnavailableError",
+    "BACKEND_CHAIN",
+    "NumpyBackend",
+    "available_backends",
+    "get_default_backend",
+    "host_empty",
+    "reset_backend_state",
+    "resolve_backend",
+    "set_default_backend",
+]

@@ -1,0 +1,120 @@
+"""NumPy backend: the reference implementation, bitwise-stable.
+
+Every method is the *exact* numpy call the hot-path modules made before
+the backend layer existed (``np.empty``, ``np.matmul(..., out=)``,
+``np.conj``, ``np.copyto(..., casting="same_kind")``, ...), so routing
+through this backend changes nothing — not allocation behaviour, not
+rounding, not a single bit of any result.  The parity tests assert
+exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.backend.base import Backend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(Backend):
+    """Host numpy execution (always available)."""
+
+    name = "numpy"
+    is_device = False
+
+    @property
+    def xp(self) -> Any:
+        return np
+
+    @property
+    def fft(self) -> Any:
+        return np.fft
+
+    @classmethod
+    def probe(cls) -> Tuple[bool, str]:
+        return True, "numpy is always available"
+
+    # -- allocation ----------------------------------------------------------
+    def empty(self, shape, dtype) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def zeros(self, shape, dtype) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    # -- movement ------------------------------------------------------------
+    def asarray(self, a) -> np.ndarray:
+        return np.asarray(a)
+
+    def from_device(self, a) -> np.ndarray:
+        return a
+
+    def copy(self, a) -> np.ndarray:
+        return a.copy()
+
+    def copyto(self, dst, src) -> None:
+        np.copyto(dst, src, casting="same_kind")
+
+    def astype(self, a, dtype, copy: bool = True) -> np.ndarray:
+        return a.astype(dtype, copy=copy)
+
+    def ascontiguous(self, a, dtype=None) -> np.ndarray:
+        if dtype is None:
+            return np.ascontiguousarray(a)
+        return np.ascontiguousarray(a, dtype=dtype)
+
+    # -- compute -------------------------------------------------------------
+    def matmul(self, a, b, out=None) -> np.ndarray:
+        if out is None:
+            return np.matmul(a, b)
+        return np.matmul(a, b, out=out)
+
+    def einsum(self, subscripts: str, *operands) -> np.ndarray:
+        return np.einsum(subscripts, *operands)
+
+    def conjugate(self, a, out=None) -> np.ndarray:
+        if out is None:
+            return np.conj(a)
+        return np.conjugate(a, out=out)
+
+    def add(self, a, b, out=None) -> np.ndarray:
+        if out is None:
+            return a + b
+        return np.add(a, b, out=out)
+
+    def multiply(self, a, b, out=None) -> np.ndarray:
+        if out is None:
+            return a * b
+        return np.multiply(a, b, out=out)
+
+    def transpose(self, a, axes=None) -> np.ndarray:
+        if axes is None:
+            return a.T
+        return a.transpose(axes)
+
+    def ravel(self, a) -> np.ndarray:
+        return a.ravel()
+
+    def concatenate(self, arrays) -> np.ndarray:
+        return np.concatenate(arrays)
+
+    # -- introspection -------------------------------------------------------
+    def dtype_of(self, a) -> np.dtype:
+        return np.asarray(a).dtype
+
+    def nbytes(self, a) -> int:
+        return int(a.nbytes)
+
+    def size(self, a) -> int:
+        return int(a.size)
+
+    def is_contiguous(self, a) -> bool:
+        return bool(a.flags["C_CONTIGUOUS"])
+
+    def iscomplex(self, a) -> bool:
+        return bool(np.iscomplexobj(a))
+
+    def shares_memory(self, a, b) -> bool:
+        return bool(np.shares_memory(a, b))

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import NumpyBackend
 from repro.blas.dispatch import SBGEMVDispatcher
 from repro.blas.gemm_kernels import OptimizedSBGEMM, RocblasSBGEMM
 from repro.blas.types import BlasDatatype, GemmProblem, Operation
@@ -40,6 +41,8 @@ from repro.gpu.device import SimulatedDevice
 from repro.gpu.specs import GPUSpec, MI300X
 from repro.util.tables import render_table
 from repro.util.validation import ReproError
+
+_NUMPY = NumpyBackend()
 
 __all__ = [
     "GemmCalibrationPoint",
@@ -103,7 +106,7 @@ def _device_timer(spec: GPUSpec) -> Callable[[object, GemmProblem], float]:
         # Allocate in the target dtype and fill through real/imag views
         # so the peak is one operand plus one float temporary, not the
         # 2-3x that stacking float arrays and casting would cost.
-        out = np.empty(shape, dtype=problem.datatype.dtype)
+        out = _NUMPY.empty(shape, problem.datatype.dtype)
         if problem.datatype.is_complex:
             out.real = rng.standard_normal(shape)
             out.imag = rng.standard_normal(shape)

@@ -22,10 +22,9 @@ SBGEMM pair), after which dispatch keys on the measurements.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
-import numpy as np
-
+from repro.backend import Backend, NumpyBackend
 from repro.blas.gemm_kernels import OptimizedSBGEMM, RocblasSBGEMM, SBGEMMKernel
 from repro.blas.gemv_kernels import OptimizedSBGEMV, RocblasSBGEMV, SBGEMVKernel
 from repro.blas.types import BlasDatatype, GemmProblem, GemvProblem, Operation
@@ -34,6 +33,8 @@ from repro.gpu.specs import GPUSpec
 from repro.util.validation import ReproError
 
 __all__ = ["SBGEMVDispatcher"]
+
+_NUMPY = NumpyBackend()
 
 # Row counts probed when deriving transition points (powers of two spanning
 # the shapes rocblas-bench covers in Figure 1).
@@ -112,33 +113,36 @@ class SBGEMVDispatcher:
 
     def gemv_strided_batched(
         self,
-        A: np.ndarray,
-        x: np.ndarray,
+        A: Any,
+        x: Any,
         operation: Operation,
         device: Optional[SimulatedDevice] = None,
         phase: str = "sbgemv",
-        out: Optional[np.ndarray] = None,
-        x_conj: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+        out: Optional[Any] = None,
+        x_conj: Optional[Any] = None,
+        backend: Optional[Backend] = None,
+    ) -> Any:
         """rocBLAS entry point: dispatch and run.
 
         ``A`` is (batch, m, n), ``x`` is (batch, in_len); dtype determines
         the datatype, as the templated host dispatch function does.
         ``out`` (shape (batch, out_len)) receives the result in place;
-        ``x_conj`` is a precomputed ``np.conj(x)`` for op C callers.
+        ``x_conj`` is a precomputed conjugate of ``x`` for op C callers.
         """
-        A = np.asarray(A)
+        be = backend if backend is not None else _NUMPY
+        A = be.asarray(A)
         problem = GemvProblem(
             m=A.shape[1],
             n=A.shape[2],
             batch=A.shape[0],
-            datatype=BlasDatatype.from_dtype(A.dtype),
+            datatype=BlasDatatype.from_dtype(be.dtype_of(A)),
             operation=Operation.parse(operation),
         )
         kernel = self.select(problem)
         self.dispatch_counts[kernel.name] += 1
         return kernel.run(
-            A, x, problem, device=device, phase=phase, out=out, x_conj=x_conj
+            A, x, problem, device=device, phase=phase, out=out, x_conj=x_conj,
+            backend=be,
         )
 
     # -- blocked multi-RHS (SBGEMM) path -------------------------------------
@@ -224,28 +228,30 @@ class SBGEMVDispatcher:
 
     def gemm_strided_batched(
         self,
-        A: np.ndarray,
-        B: np.ndarray,
+        A: Any,
+        B: Any,
         operation: Operation,
         device: Optional[SimulatedDevice] = None,
         phase: str = "sbgemv",
-        out: Optional[np.ndarray] = None,
-        a_conj: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+        out: Optional[Any] = None,
+        a_conj: Optional[Any] = None,
+        backend: Optional[Backend] = None,
+    ) -> Any:
         """rocBLAS entry point for the blocked path: dispatch and run.
 
         ``A`` is (batch, m, n); ``B`` is (batch, in_rows, k).  With
         ``k == 1`` the call degenerates to (and dispatches like) the
         single-RHS GEMV entry point, keeping the two paths numerically
         interchangeable.  ``out`` (shape (batch, out_rows, k)) receives
-        the panel in place; ``a_conj`` is a cached ``np.conj(A)`` for
+        the panel in place; ``a_conj`` is a cached conjugate of ``A`` for
         op C callers.
         """
-        A = np.asarray(A)
-        B = np.asarray(B)
+        be = backend if backend is not None else _NUMPY
+        A = be.asarray(A)
+        B = be.asarray(B)
         op = Operation.parse(operation)
         if B.ndim != 3:
-            raise ReproError(f"B must be (batch, in_rows, k), got shape {B.shape}")
+            raise ReproError(f"B must be (batch, in_rows, k), got shape {tuple(B.shape)}")
         if B.shape[2] == 1:
             y = self.gemv_strided_batched(
                 A,
@@ -254,6 +260,7 @@ class SBGEMVDispatcher:
                 device=device,
                 phase=phase,
                 out=None if out is None else out[:, :, 0],
+                backend=be,
             )
             return y[:, :, None]
         problem = GemmProblem(
@@ -261,9 +268,12 @@ class SBGEMVDispatcher:
             n=A.shape[2],
             k=B.shape[2],
             batch=A.shape[0],
-            datatype=BlasDatatype.from_dtype(A.dtype),
+            datatype=BlasDatatype.from_dtype(be.dtype_of(A)),
             operation=op,
         )
         kernel = self.select_gemm(problem)
         self.dispatch_counts[kernel.name] += 1
-        return kernel.run(A, B, problem, device=device, phase=phase, out=out, a_conj=a_conj)
+        return kernel.run(
+            A, B, problem, device=device, phase=phase, out=out, a_conj=a_conj,
+            backend=be,
+        )

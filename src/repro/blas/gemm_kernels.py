@@ -32,10 +32,11 @@ once instead of ``k`` times.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import Backend, NumpyBackend
 from repro.blas.types import BlasDatatype, GemmProblem, Operation
 from repro.gpu.bandwidth import grid_efficiency, stream_efficiency
 from repro.gpu.device import SimulatedDevice
@@ -51,14 +52,17 @@ __all__ = [
     "gemm_strided_batched_reference",
 ]
 
+_NUMPY = NumpyBackend()
+
 
 def gemm_strided_batched_reference(
-    A: np.ndarray,
-    B: np.ndarray,
+    A: Any,
+    B: Any,
     operation: Operation,
-    out: Optional[np.ndarray] = None,
-    a_conj: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    out: Optional[Any] = None,
+    a_conj: Optional[Any] = None,
+    backend: Optional[Backend] = None,
+) -> Any:
     """Numerical strided-batched GEMM: ``C_i = op(A_i) @ B_i``.
 
     ``A`` has shape (batch, m, n); ``B`` has shape (batch, in_rows, k)
@@ -72,37 +76,40 @@ def gemm_strided_batched_reference(
     matvec engine caches it); it must hold exactly the bytes
     ``np.conj(A)`` would produce, so the result is bitwise-unchanged.
     """
-    A = np.asarray(A)
-    B = np.asarray(B)
+    be = backend if backend is not None else _NUMPY
+    A = be.asarray(A)
+    B = be.asarray(B)
     if A.ndim != 3:
-        raise ReproError(f"A must be (batch, m, n), got shape {A.shape}")
+        raise ReproError(f"A must be (batch, m, n), got shape {tuple(A.shape)}")
     if B.ndim != 3:
-        raise ReproError(f"B must be (batch, in_rows, k), got shape {B.shape}")
+        raise ReproError(f"B must be (batch, in_rows, k), got shape {tuple(B.shape)}")
     op = Operation.parse(operation)
     in_rows = A.shape[2] if op is Operation.N else A.shape[1]
-    if B.shape[:2] != (A.shape[0], in_rows):
+    if tuple(B.shape[:2]) != (A.shape[0], in_rows):
         raise ReproError(
-            f"B must be ({A.shape[0]}, {in_rows}, k), got {B.shape}"
+            f"B must be ({A.shape[0]}, {in_rows}, k), got {tuple(B.shape)}"
         )
     out_rows = A.shape[1] if op is Operation.N else A.shape[2]
     if out is not None and (
-        out.shape != (A.shape[0], out_rows, B.shape[2]) or out.dtype != A.dtype
+        tuple(out.shape) != (A.shape[0], out_rows, B.shape[2])
+        or be.dtype_of(out) != be.dtype_of(A)
     ):
         raise ReproError(
-            f"out must be {(A.shape[0], out_rows, B.shape[2])} {A.dtype}, "
-            f"got {out.shape} {out.dtype}"
+            f"out must be {(A.shape[0], out_rows, B.shape[2])} {be.dtype_of(A)}, "
+            f"got {tuple(out.shape)} {be.dtype_of(out)}"
         )
     if op is Operation.N:
-        return np.matmul(A, B, out=out)
+        return be.matmul(A, B, out=out)
     if op is Operation.C:
         if a_conj is None:
-            a_conj = np.conj(A)
-        elif a_conj.shape != A.shape or a_conj.dtype != A.dtype:
+            a_conj = be.conjugate(A)
+        elif tuple(a_conj.shape) != tuple(A.shape) or be.dtype_of(a_conj) != be.dtype_of(A):
             raise ReproError(
-                f"a_conj must be {A.shape} {A.dtype}, got {a_conj.shape} {a_conj.dtype}"
+                f"a_conj must be {tuple(A.shape)} {be.dtype_of(A)}, "
+                f"got {tuple(a_conj.shape)} {be.dtype_of(a_conj)}"
             )
-        return np.matmul(a_conj.transpose(0, 2, 1), B, out=out)
-    return np.matmul(A.transpose(0, 2, 1), B, out=out)
+        return be.matmul(be.transpose(a_conj, (0, 2, 1)), B, out=out)
+    return be.matmul(be.transpose(A, (0, 2, 1)), B, out=out)
 
 
 # Architecture rescaling is relative to MI300X, matching the SBGEMV
@@ -137,14 +144,15 @@ class SBGEMMKernel:
     # -- execution ----------------------------------------------------------
     def run(
         self,
-        A: np.ndarray,
-        B: np.ndarray,
+        A: Any,
+        B: Any,
         problem: GemmProblem,
         device: Optional[SimulatedDevice] = None,
         phase: str = "sbgemv",
-        out: Optional[np.ndarray] = None,
-        a_conj: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+        out: Optional[Any] = None,
+        a_conj: Optional[Any] = None,
+        backend: Optional[Backend] = None,
+    ) -> Any:
         """Compute the batched GEMM and charge simulated time.
 
         Dtypes must match the problem datatype — same strict check as the
@@ -153,18 +161,19 @@ class SBGEMMKernel:
         to the reference kernel (no output allocation, cached conjugate
         spectrum).
         """
-        if np.dtype(A.dtype) != problem.datatype.dtype:
+        be = backend if backend is not None else _NUMPY
+        if be.dtype_of(A) != problem.datatype.dtype:
             raise ReproError(
-                f"A dtype {A.dtype} != problem datatype {problem.datatype.dtype}"
+                f"A dtype {be.dtype_of(A)} != problem datatype {problem.datatype.dtype}"
             )
-        if np.dtype(B.dtype) != problem.datatype.dtype:
+        if be.dtype_of(B) != problem.datatype.dtype:
             raise ReproError(
-                f"B dtype {B.dtype} != problem datatype {problem.datatype.dtype}"
+                f"B dtype {be.dtype_of(B)} != problem datatype {problem.datatype.dtype}"
             )
         if not self.supports(problem):
             raise ReproError(f"{self.name} does not support {problem.describe()}")
         C = gemm_strided_batched_reference(
-            A, B, problem.operation, out=out, a_conj=a_conj
+            A, B, problem.operation, out=out, a_conj=a_conj, backend=be
         )
         if device is not None:
             grid, block = self.launch_geometry(problem, device.spec)

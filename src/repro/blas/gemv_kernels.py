@@ -29,10 +29,11 @@ substitution.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import Backend, NumpyBackend
 from repro.blas.types import BlasDatatype, GemvProblem, Operation
 from repro.gpu.bandwidth import grid_efficiency, stream_efficiency
 from repro.gpu.device import SimulatedDevice
@@ -48,14 +49,17 @@ __all__ = [
     "gemv_strided_batched_reference",
 ]
 
+_NUMPY = NumpyBackend()
+
 
 def gemv_strided_batched_reference(
-    A: np.ndarray,
-    x: np.ndarray,
+    A: Any,
+    x: Any,
     operation: Operation,
-    out: Optional[np.ndarray] = None,
-    x_conj: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    out: Optional[Any] = None,
+    x_conj: Optional[Any] = None,
+    backend: Optional[Backend] = None,
+) -> Any:
     """Numerical strided-batched GEMV: ``y_i = op(A_i) @ x_i``.
 
     ``A`` has shape (batch, m, n); ``x`` has shape (batch, in_len).
@@ -68,45 +72,49 @@ def gemv_strided_batched_reference(
     (the engine conjugates into an arena buffer); it must hold exactly
     the bytes ``np.conj(x)`` would produce.
     """
-    A = np.asarray(A)
-    x = np.asarray(x)
+    be = backend if backend is not None else _NUMPY
+    A = be.asarray(A)
+    x = be.asarray(x)
     if A.ndim != 3:
-        raise ReproError(f"A must be (batch, m, n), got shape {A.shape}")
+        raise ReproError(f"A must be (batch, m, n), got shape {tuple(A.shape)}")
     op = Operation.parse(operation)
     out_len = A.shape[1] if op is Operation.N else A.shape[2]
-    if out is not None and (out.shape != (A.shape[0], out_len) or out.dtype != A.dtype):
+    if out is not None and (
+        tuple(out.shape) != (A.shape[0], out_len)
+        or be.dtype_of(out) != be.dtype_of(A)
+    ):
         raise ReproError(
-            f"out must be {(A.shape[0], out_len)} {A.dtype}, "
-            f"got {out.shape} {out.dtype}"
+            f"out must be {(A.shape[0], out_len)} {be.dtype_of(A)}, "
+            f"got {tuple(out.shape)} {be.dtype_of(out)}"
         )
     if op is Operation.N:
-        if x.shape != (A.shape[0], A.shape[2]):
+        if tuple(x.shape) != (A.shape[0], A.shape[2]):
             raise ReproError(
-                f"x must be {(A.shape[0], A.shape[2])}, got {x.shape}"
+                f"x must be {(A.shape[0], A.shape[2])}, got {tuple(x.shape)}"
             )
         if out is None:
-            return np.matmul(A, x[:, :, None])[:, :, 0]
-        np.matmul(A, x[:, :, None], out=out[:, :, None])
+            return be.matmul(A, x[:, :, None])[:, :, 0]
+        be.matmul(A, x[:, :, None], out=out[:, :, None])
         return out
-    if x.shape != (A.shape[0], A.shape[1]):
-        raise ReproError(f"x must be {(A.shape[0], A.shape[1])}, got {x.shape}")
+    if tuple(x.shape) != (A.shape[0], A.shape[1]):
+        raise ReproError(f"x must be {(A.shape[0], A.shape[1])}, got {tuple(x.shape)}")
     if op is Operation.C:
         # y[n] = sum_m conj(A[m,n]) x[m] = conj( (conj(x)^T A)[n] )
         if x_conj is None:
-            x_conj = np.conj(x)
-        elif x_conj.shape != x.shape or x_conj.dtype != x.dtype:
+            x_conj = be.conjugate(x)
+        elif tuple(x_conj.shape) != tuple(x.shape) or be.dtype_of(x_conj) != be.dtype_of(x):
             raise ReproError(
-                f"x_conj must be {x.shape} {x.dtype}, "
-                f"got {x_conj.shape} {x_conj.dtype}"
+                f"x_conj must be {tuple(x.shape)} {be.dtype_of(x)}, "
+                f"got {tuple(x_conj.shape)} {be.dtype_of(x_conj)}"
             )
         if out is None:
-            return np.conj(np.matmul(x_conj[:, None, :], A))[:, 0, :]
-        np.matmul(x_conj[:, None, :], A, out=out[:, None, :])
-        np.conjugate(out, out=out)
+            return be.conjugate(be.matmul(x_conj[:, None, :], A))[:, 0, :]
+        be.matmul(x_conj[:, None, :], A, out=out[:, None, :])
+        be.conjugate(out, out=out)
         return out
     if out is None:
-        return np.matmul(x[:, None, :], A)[:, 0, :]
-    np.matmul(x[:, None, :], A, out=out[:, None, :])
+        return be.matmul(x[:, None, :], A)[:, 0, :]
+    be.matmul(x[:, None, :], A, out=out[:, None, :])
     return out
 
 
@@ -237,14 +245,15 @@ class SBGEMVKernel:
     # -- execution ----------------------------------------------------------
     def run(
         self,
-        A: np.ndarray,
-        x: np.ndarray,
+        A: Any,
+        x: Any,
         problem: GemvProblem,
         device: Optional[SimulatedDevice] = None,
         phase: str = "sbgemv",
-        out: Optional[np.ndarray] = None,
-        x_conj: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+        out: Optional[Any] = None,
+        x_conj: Optional[Any] = None,
+        backend: Optional[Backend] = None,
+    ) -> Any:
         """Compute the batched GEMV and charge simulated time.
 
         ``A``/``x`` dtypes must match the problem datatype; this is where a
@@ -253,18 +262,19 @@ class SBGEMVKernel:
         kernel so a workspace-backed caller pays no output (or op-C
         conjugate staging) allocation.
         """
-        if np.dtype(A.dtype) != problem.datatype.dtype:
+        be = backend if backend is not None else _NUMPY
+        if be.dtype_of(A) != problem.datatype.dtype:
             raise ReproError(
-                f"A dtype {A.dtype} != problem datatype {problem.datatype.dtype}"
+                f"A dtype {be.dtype_of(A)} != problem datatype {problem.datatype.dtype}"
             )
-        if np.dtype(x.dtype) != problem.datatype.dtype:
+        if be.dtype_of(x) != problem.datatype.dtype:
             raise ReproError(
-                f"x dtype {x.dtype} != problem datatype {problem.datatype.dtype}"
+                f"x dtype {be.dtype_of(x)} != problem datatype {problem.datatype.dtype}"
             )
         if not self.supports(problem):
             raise ReproError(f"{self.name} does not support {problem.describe()}")
         y = gemv_strided_batched_reference(
-            A, x, problem.operation, out=out, x_conj=x_conj
+            A, x, problem.operation, out=out, x_conj=x_conj, backend=be
         )
         if device is not None:
             grid, block = self.launch_geometry(problem, device.spec)

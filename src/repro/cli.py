@@ -13,7 +13,9 @@ Flags follow the artifact appendix:
 * ``-reps N`` — average timings over N repetitions;
 * ``-gpu NAME`` — simulated architecture (default MI250X GCD);
 * ``-pr / -pc`` — process grid shape (defaults: 1 x p as the paper does
-  for small runs); ``-p`` — total simulated GPUs.
+  for small runs); ``-p`` — total simulated GPUs;
+* ``--backend`` — array backend (numpy/cupy/torch/auto; default: the
+  ``REPRO_BACKEND`` environment variable, else the auto fallback chain).
 
 Timing output format matches the original: three lines of
 setup/total/cleanup, then per-phase times, for the F matvec and then the
@@ -29,6 +31,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.backend import BackendUnavailableError, resolve_backend
 from repro.comm.grid import ProcessGrid
 from repro.comm.netmodel import FRONTIER_NETWORK
 from repro.comm.partition import communication_aware_partition
@@ -70,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-pr", type=int, default=0, help="grid rows (0 = auto)")
     p.add_argument("-pc", type=int, default=0, help="grid cols (0 = auto)")
     p.add_argument("-seed", type=int, default=0, help="RNG seed")
+    p.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        help="array backend: numpy, cupy, torch or auto "
+        "(default: $REPRO_BACKEND, else the auto fallback chain)",
+    )
     p.add_argument(
         "--pareto",
         type=float,
@@ -121,9 +131,14 @@ def _pareto_mode(args) -> int:
 
 def _self_test(args) -> int:
     """-t: verify the FFT matvec against the dense reference."""
+    try:
+        backend = resolve_backend(args.backend)
+    except BackendUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rng = np.random.default_rng(args.seed)
     matrix = BlockTriangularToeplitz.random(16, 3, 12, rng=rng)
-    engine = FFTMatvec(matrix)
+    engine = FFTMatvec(matrix, backend=backend)
     m = rng.standard_normal((16, 12))
     d = engine.matvec(m)
     ref = matrix.matvec_reference(m)
@@ -186,22 +201,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         m_in = fill_low_mantissa(m_in)
         d_in = fill_low_mantissa(d_in)
 
+    try:
+        backend = resolve_backend(args.backend)
+    except BackendUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     p = args.num_gpus
     if p > 1:
         pr, pc = args.pr, args.pc
         if pr <= 0 or pc <= 0:
             pr, pc = communication_aware_partition(args.nm, args.nd, args.nt, p)
-        grid = ProcessGrid(pr, pc, net=FRONTIER_NETWORK)
-        engine = ParallelFFTMatvec(matrix, grid, spec=spec)
+        grid = ProcessGrid(pr, pc, net=FRONTIER_NETWORK, backend=backend)
+        engine = ParallelFFTMatvec(matrix, grid, spec=spec, backend=backend)
         if not args.raw:
             print(f"process grid: {pr} x {pc} ({p} simulated GPUs)")
     else:
-        engine = FFTMatvec(matrix, device=SimulatedDevice(spec))
+        engine = FFTMatvec(
+            matrix, device=SimulatedDevice(spec), backend=backend
+        )
 
     if not args.raw:
         print(
             f"FFTMatvec  Nm={args.nm} Nd={args.nd} Nt={args.nt}  "
-            f"prec={cfg}  gpu={spec.name}"
+            f"prec={cfg}  gpu={spec.name}  backend={backend.name}"
         )
 
     def run_reps(op, vec) -> TimingReport:

@@ -19,12 +19,11 @@ stay consistent:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
-import numpy as np
-
+from repro.backend import Backend, NumpyBackend
 from repro.comm.netmodel import NetworkModel
-from repro.util.dtypes import Precision, cast_to
+from repro.util.dtypes import Precision
 from repro.util.validation import ReproError
 
 __all__ = [
@@ -33,6 +32,8 @@ __all__ = [
     "ring_allreduce_time",
     "log2_steps",
 ]
+
+_NUMPY = NumpyBackend()
 
 
 def log2_steps(k: int) -> int:
@@ -43,49 +44,53 @@ def log2_steps(k: int) -> int:
 
 
 def tree_reduce_arrays(
-    arrays: Sequence[np.ndarray],
+    arrays: Sequence[Any],
     precision: Optional[Precision] = None,
-) -> np.ndarray:
+    backend: Optional[Backend] = None,
+) -> Any:
     """Binary-tree pairwise sum of per-rank arrays.
 
     All additions are evaluated at ``precision`` (default: the precision
     of the inputs), reproducing the accumulation order of an RCCL tree
     reduction.  The result keeps the computation dtype; the caller casts
-    back as its precision configuration dictates.
+    back as its precision configuration dictates.  Contributions may be
+    arrays of the given ``backend`` (default numpy); the accumulation
+    then stays on that backend.
     """
+    be = backend if backend is not None else _NUMPY
     if len(arrays) == 0:
         raise ReproError("cannot reduce zero arrays")
-    work: List[np.ndarray] = []
+    work: List[Any] = []
     owned: List[bool] = []  # True once a buffer is a reduction temporary
     for a in arrays:
-        arr = np.asarray(a)
+        arr = be.asarray(a)
         if precision is not None:
-            cast = cast_to(arr, precision)
+            cast = be.cast(arr, precision)
             work.append(cast)
-            owned.append(cast is not arr)  # cast_to copies iff it converts
+            owned.append(cast is not arr)  # cast copies iff it converts
         else:
             work.append(arr)
             owned.append(False)
-    shape = work[0].shape
+    shape = tuple(work[0].shape)
     for i, a in enumerate(work):
-        if a.shape != shape:
+        if tuple(a.shape) != shape:
             raise ReproError(
-                f"rank {i} contribution has shape {a.shape}, expected {shape}"
+                f"rank {i} contribution has shape {tuple(a.shape)}, expected {shape}"
             )
     while len(work) > 1:
-        nxt: List[np.ndarray] = []
+        nxt: List[Any] = []
         nxt_owned: List[bool] = []
         for i in range(0, len(work) - 1, 2):
             a, b = work[i], work[i + 1]
             if owned[i]:
                 # Accumulate in place into the temporary this level
-                # already owns — np.add(a, b, out=a) rounds exactly like
+                # already owns — add(a, b, out=a) rounds exactly like
                 # a + b, so the tree numerics are unchanged while the
                 # upper levels allocate nothing.
-                np.add(a, b, out=a)
+                be.add(a, b, out=a)
                 nxt.append(a)
             else:
-                nxt.append(a + b)
+                nxt.append(be.add(a, b))
             nxt_owned.append(True)
         if len(work) % 2 == 1:
             nxt.append(work[-1])

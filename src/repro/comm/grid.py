@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.backend import Backend
 from repro.comm.netmodel import NetworkModel, SIMPLE_NETWORK
 from repro.comm.simcomm import SimCommunicator
 from repro.util.timing import SimClock
@@ -30,6 +31,7 @@ class ProcessGrid:
         pc: int,
         net: NetworkModel = SIMPLE_NETWORK,
         clock: Optional[SimClock] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         self.pr = check_positive_int(pr, "pr")
         self.pc = check_positive_int(pc, "pc")
@@ -37,17 +39,24 @@ class ProcessGrid:
         self.net = net
         self.clock = clock if clock is not None else SimClock()
         self.world = SimCommunicator(
-            self.size, net=net, clock=self.clock, span=self.size, name="world"
+            self.size, net=net, clock=self.clock, span=self.size, name="world",
+            backend=backend,
         )
         # A row's pc members are contiguous; a column's pr members stride
         # by pc and span (pr-1)*pc + 1 machine ranks.
         self._row_comms = [
-            SimCommunicator(self.pc, net=net, clock=self.clock, span=self.pc, name=f"row{r}")
+            SimCommunicator(
+                self.pc, net=net, clock=self.clock, span=self.pc, name=f"row{r}",
+                backend=backend,
+            )
             for r in range(self.pr)
         ]
         col_span = (self.pr - 1) * self.pc + 1
         self._col_comms = [
-            SimCommunicator(self.pr, net=net, clock=self.clock, span=col_span, name=f"col{c}")
+            SimCommunicator(
+                self.pr, net=net, clock=self.clock, span=col_span, name=f"col{c}",
+                backend=backend,
+            )
             for c in range(self.pc)
         ]
 

@@ -30,10 +30,9 @@ stream while compute proceeds on another.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, List, Optional, Sequence
+from typing import Any, Iterator, List, Optional, Sequence
 
-import numpy as np
-
+from repro.backend import Backend, NumpyBackend
 from repro.comm.collectives import tree_collective_time, tree_reduce_arrays
 from repro.comm.netmodel import NetworkModel, SIMPLE_NETWORK
 from repro.util.dtypes import Precision
@@ -42,6 +41,8 @@ from repro.util.validation import ReproError, check_positive_int
 from repro.util.workspace import Workspace
 
 __all__ = ["SimCommunicator"]
+
+_NUMPY = NumpyBackend()
 
 
 class SimCommunicator:
@@ -60,6 +61,10 @@ class SimCommunicator:
         Consecutive machine ranks this communicator's members are spread
         over (>= size); a world communicator has span == size, a strided
         grid-column subcommunicator spans nearly the whole machine.
+    backend:
+        Array backend the collectives stage payloads with (default
+        numpy).  Individual collectives accept a per-call ``backend=``
+        override for mixed host/device traffic.
     """
 
     _OPS = ("bcast", "reduce", "allreduce", "allgather", "scatter", "barrier")
@@ -71,12 +76,14 @@ class SimCommunicator:
         clock: Optional[SimClock] = None,
         span: Optional[int] = None,
         name: str = "world",
+        backend: Optional[Backend] = None,
     ) -> None:
         self.size = check_positive_int(size, "size")
         self.net = net
         self.clock = clock
         self.span = self.size if span is None else max(span, self.size)
         self.name = name
+        self.backend = backend if backend is not None else _NUMPY
         self.stream: Optional[Stream] = None
         self.bytes_communicated = 0.0
         self.collective_calls = 0
@@ -102,12 +109,14 @@ class SimCommunicator:
             self.stream = prev
 
     # -- helpers -----------------------------------------------------------
-    def _check_per_rank(self, arrays: Sequence[np.ndarray], what: str) -> List[np.ndarray]:
+    def _check_per_rank(
+        self, arrays: Sequence[Any], what: str, be: Backend
+    ) -> List[Any]:
         if len(arrays) != self.size:
             raise ReproError(
                 f"{what}: expected {self.size} per-rank arrays, got {len(arrays)}"
             )
-        return [np.asarray(a) for a in arrays]
+        return [be.asarray(a) for a in arrays]
 
     def _charge(self, k: int, nbytes: float, phase: str, op: str = "") -> float:
         t = tree_collective_time(k, nbytes, self.net, span=self.span)
@@ -138,12 +147,13 @@ class SimCommunicator:
     # -- collectives ---------------------------------------------------------
     def bcast(
         self,
-        value: np.ndarray,
+        value: Any,
         root: int = 0,
         phase: str = "comm",
         workspace: Optional[Workspace] = None,
         tag: str = "bcast",
-    ) -> List[np.ndarray]:
+        backend: Optional[Backend] = None,
+    ) -> List[Any]:
         """Broadcast root's array to all ranks; returns per-rank copies.
 
         With a ``workspace`` the per-rank receive buffers are persistent
@@ -153,72 +163,92 @@ class SimCommunicator:
         must have consumed the previous copies for the same tag (the
         usual checkout discipline).
         """
+        be = backend if backend is not None else self.backend
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
-        buf = np.asarray(value)
+        buf = be.asarray(value)
         self.op_counts["bcast"] += 1
-        self._charge(self.size, buf.nbytes, phase, op="bcast")
+        self._charge(self.size, be.nbytes(buf), phase, op="bcast")
         if workspace is None:
-            return [buf.copy() for _ in range(self.size)]
+            return [be.copy(buf) for _ in range(self.size)]
         copies = []
         for rank in range(self.size):
-            recv = workspace.buffer(f"{tag}/r{rank}", buf.shape, buf.dtype)
-            np.copyto(recv, buf)
+            recv = workspace.buffer(
+                f"{tag}/r{rank}", tuple(buf.shape), be.dtype_of(buf)
+            )
+            be.copyto(recv, buf)
             copies.append(recv)
         return copies
 
     def reduce(
         self,
-        arrays: Sequence[np.ndarray],
+        arrays: Sequence[Any],
         root: int = 0,
         precision: Optional[Precision] = None,
         phase: str = "comm",
-    ) -> np.ndarray:
+        backend: Optional[Backend] = None,
+    ) -> Any:
         """Tree-sum per-rank arrays to the root; returns the root's result.
 
         ``precision`` sets the accumulation precision (the paper's
         mixed-precision framework may run the Phase-5 reduction in
         single precision).
         """
-        bufs = self._check_per_rank(arrays, "reduce")
+        be = backend if backend is not None else self.backend
+        bufs = self._check_per_rank(arrays, "reduce", be)
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
-        out = tree_reduce_arrays(bufs, precision=precision)
+        out = tree_reduce_arrays(bufs, precision=precision, backend=be)
         self.op_counts["reduce"] += 1
-        self._charge(self.size, bufs[0].nbytes, phase, op="reduce")
+        self._charge(self.size, be.nbytes(bufs[0]), phase, op="reduce")
         return out
 
     def allreduce(
         self,
-        arrays: Sequence[np.ndarray],
+        arrays: Sequence[Any],
         precision: Optional[Precision] = None,
         phase: str = "comm",
-    ) -> List[np.ndarray]:
+        backend: Optional[Backend] = None,
+    ) -> List[Any]:
         """Reduce + broadcast; every rank receives the identical sum."""
-        bufs = self._check_per_rank(arrays, "allreduce")
-        out = tree_reduce_arrays(bufs, precision=precision)
+        be = backend if backend is not None else self.backend
+        bufs = self._check_per_rank(arrays, "allreduce", be)
+        out = tree_reduce_arrays(bufs, precision=precision, backend=be)
         self.op_counts["allreduce"] += 1
         # reduce + bcast trees; charge both.
-        self._charge(self.size, bufs[0].nbytes, phase, op="allreduce")
-        self._charge(self.size, bufs[0].nbytes, phase, op="allreduce")
-        return [out.copy() for _ in range(self.size)]
+        self._charge(self.size, be.nbytes(bufs[0]), phase, op="allreduce")
+        self._charge(self.size, be.nbytes(bufs[0]), phase, op="allreduce")
+        return [be.copy(out) for _ in range(self.size)]
 
-    def allgather(self, arrays: Sequence[np.ndarray], phase: str = "comm") -> List[np.ndarray]:
+    def allgather(
+        self,
+        arrays: Sequence[Any],
+        phase: str = "comm",
+        backend: Optional[Backend] = None,
+    ) -> List[Any]:
         """Concatenate per-rank arrays; every rank receives the whole."""
-        bufs = self._check_per_rank(arrays, "allgather")
-        gathered = np.concatenate([b.ravel() for b in bufs])
+        be = backend if backend is not None else self.backend
+        bufs = self._check_per_rank(arrays, "allgather", be)
+        gathered = be.concatenate([be.ravel(b) for b in bufs])
         self.op_counts["allgather"] += 1
-        self._charge(self.size, gathered.nbytes, phase, op="allgather")
-        return [gathered.copy() for _ in range(self.size)]
+        self._charge(self.size, be.nbytes(gathered), phase, op="allgather")
+        return [be.copy(gathered) for _ in range(self.size)]
 
-    def scatter(self, chunks: Sequence[np.ndarray], root: int = 0, phase: str = "comm") -> List[np.ndarray]:
+    def scatter(
+        self,
+        chunks: Sequence[Any],
+        root: int = 0,
+        phase: str = "comm",
+        backend: Optional[Backend] = None,
+    ) -> List[Any]:
         """Distribute root's per-rank chunks."""
-        bufs = self._check_per_rank(chunks, "scatter")
+        be = backend if backend is not None else self.backend
+        bufs = self._check_per_rank(chunks, "scatter", be)
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
         self.op_counts["scatter"] += 1
-        self._charge(self.size, max(b.nbytes for b in bufs), phase, op="scatter")
-        return [b.copy() for b in bufs]
+        self._charge(self.size, max(be.nbytes(b) for b in bufs), phase, op="scatter")
+        return [be.copy(b) for b in bufs]
 
     def barrier(self, phase: str = "comm") -> None:
         """Synchronize (latency-only collective)."""

@@ -35,10 +35,11 @@ posterior sampling and OED sweeps get their speedup.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import Backend, host_empty, resolve_backend
 from repro.blas.dispatch import SBGEMVDispatcher
 from repro.blas.types import Operation
 from repro.core.phases import pad_to_soti, unpad_from_soti
@@ -82,6 +83,12 @@ class FFTMatvec:
         phase of the pipeline writes into persistent checked-out
         buffers — numerics are bitwise-identical either way; only the
         allocation behaviour changes.
+    backend:
+        Array backend for the hot path: a :class:`Backend` instance, a
+        name (``"numpy"``/``"cupy"``/``"torch"``, explicit mode — raises
+        when unavailable), or ``None`` to follow ``REPRO_BACKEND``
+        (default ``auto``: cupy → torch → numpy).  Inputs and outputs
+        stay host float64 on every backend.
     """
 
     def __init__(
@@ -90,12 +97,14 @@ class FFTMatvec:
         device: Optional[SimulatedDevice] = None,
         use_optimized_sbgemv: bool = True,
         workspace: Union[None, bool, Workspace] = None,
+        backend: Union[None, str, Backend] = None,
     ) -> None:
         self.matrix = (
             matrix
             if isinstance(matrix, BlockTriangularToeplitz)
             else BlockTriangularToeplitz(np.asarray(matrix))
         )
+        self.backend = resolve_backend(backend)
         self.device = device
         self.use_optimized_sbgemv = use_optimized_sbgemv
         self.nt = self.matrix.nt
@@ -108,9 +117,11 @@ class FFTMatvec:
         self.dispatcher = SBGEMVDispatcher(spec) if spec is not None else None
 
         # Setup: F_hat in double precision (one-time, not perf-critical),
-        # with the 1/(2*Nt) inverse normalization folded in.
-        self._fhat: Dict[Precision, np.ndarray] = {}
-        self._fhat[Precision.DOUBLE] = self._setup_spectrum()
+        # with the 1/(2*Nt) inverse normalization folded in.  The host
+        # double copy is authoritative; per-precision backend copies are
+        # cached lazily in spectrum().
+        self._fhat_host = self._setup_spectrum()
+        self._fhat: Dict[Precision, Any] = {}
         self.setup_time = (
             self.device.clock.phase_total("setup") if self.device is not None else 0.0
         )
@@ -121,14 +132,20 @@ class FFTMatvec:
         self.matmat_count = 0
         self.cast_noop_count = 0  # inter-phase casts skipped (equal precisions)
         self._ref_cache: Dict[Tuple[bool, Tuple[int, ...], bytes], np.ndarray] = {}
-        self._fhat_conj: Dict[Precision, np.ndarray] = {}
+        self._fhat_conj: Dict[Precision, Any] = {}
         if workspace is True:
             workspace = Workspace(
                 allocator=device.allocator if device is not None else None,
                 name="fftmatvec",
+                backend=self.backend,
             )
         elif workspace is False:
             workspace = None
+        elif workspace is not None and workspace.backend.name != self.backend.name:
+            raise ReproError(
+                f"workspace backend {workspace.backend.name!r} does not match "
+                f"engine backend {self.backend.name!r}"
+            )
         self.workspace: Optional[Workspace] = workspace
 
     # -- setup -----------------------------------------------------------------
@@ -174,30 +191,33 @@ class FFTMatvec:
         return (freq_major * scale).astype(np.complex128)
 
     def _fhat_double_for_tests(self) -> np.ndarray:
-        """The double-precision spectrum (test hook)."""
-        return self._fhat[Precision.DOUBLE]
+        """The double-precision host spectrum (test hook)."""
+        return self._fhat_host
 
     # -- cached resources ----------------------------------------------------
-    def spectrum(self, precision: Precision) -> np.ndarray:
-        """F_hat at the requested precision (single copy cached lazily)."""
+    def spectrum(self, precision: Precision) -> Any:
+        """F_hat at the requested precision on the engine backend
+        (single copy cached lazily; identity for numpy double)."""
         precision = Precision.parse(precision)
         if precision not in self._fhat:
-            self._fhat[precision] = cast_to(
-                self._fhat[Precision.DOUBLE], precision
+            self._fhat[precision] = self.backend.asarray(
+                cast_to(self._fhat_host, precision)
             )
         return self._fhat[precision]
 
-    def spectrum_conj(self, precision: Precision) -> np.ndarray:
-        """``np.conj(spectrum(precision))``, cached.
+    def spectrum_conj(self, precision: Precision) -> Any:
+        """The conjugated spectrum at the requested precision, cached.
 
         The adjoint GEMM applies the conjugated spectrum on every
-        iteration; caching the exact bytes ``np.conj`` would produce
-        keeps repeated adjoint applies from re-materializing the largest
-        array on the hot path, with bitwise-unchanged results.
+        iteration; caching the exact bytes a fresh conjugation would
+        produce keeps repeated adjoint applies from re-materializing the
+        largest array on the hot path, with bitwise-unchanged results.
         """
         precision = Precision.parse(precision)
         if precision not in self._fhat_conj:
-            self._fhat_conj[precision] = np.conj(self.spectrum(precision))
+            self._fhat_conj[precision] = self.backend.conjugate(
+                self.spectrum(precision)
+            )
         return self._fhat_conj[precision]
 
     def _plan(self, kind: str, precision: Precision, batch: int) -> FFTPlan:
@@ -208,7 +228,11 @@ class FFTMatvec:
             else:
                 t = FFTType.real_inverse(precision)
             self._plans[key] = FFTPlan(
-                n=self.n_pad, batch=batch, fft_type=t, device=self.device
+                n=self.n_pad,
+                batch=batch,
+                fft_type=t,
+                device=self.device,
+                backend=self.backend,
             )
         return self._plans[key]
 
@@ -221,22 +245,24 @@ class FFTMatvec:
         return contextlib.nullcontext()
 
     def _run_sbgemv(
-        self, mhat: np.ndarray, operation: Operation, precision: Precision
-    ) -> np.ndarray:
+        self, mhat: Any, operation: Operation, precision: Precision
+    ) -> Any:
+        be = self.backend
         fhat = self.spectrum(precision)
         out = x_conj = None
         if self.workspace is not None:
             out_len = fhat.shape[1] if operation is Operation.N else fhat.shape[2]
             out = self.workspace.checkout(
-                "sbgemv_out", (fhat.shape[0], out_len), fhat.dtype
+                "sbgemv_out", (fhat.shape[0], out_len), be.dtype_of(fhat)
             )
             if operation is Operation.C:
                 # Stage the adjoint's conj(x) in the arena — bitwise the
-                # bytes np.conj would produce, no per-apply temporary.
+                # bytes a fresh conjugation would produce, no per-apply
+                # temporary.
                 x_conj = self.workspace.checkout(
-                    "sbgemv_conj_x", mhat.shape, mhat.dtype
+                    "sbgemv_conj_x", tuple(mhat.shape), be.dtype_of(mhat)
                 )
-                np.conjugate(mhat, out=x_conj)
+                be.conjugate(mhat, out=x_conj)
         if self.dispatcher is not None:
             if self.use_optimized_sbgemv:
                 return self.dispatcher.gemv_strided_batched(
@@ -247,6 +273,7 @@ class FFTMatvec:
                     phase="sbgemv",
                     out=out,
                     x_conj=x_conj,
+                    backend=be,
                 )
             # Ablation: force the original kernel through the same path.
             from repro.blas.gemv_kernels import RocblasSBGEMV
@@ -256,7 +283,7 @@ class FFTMatvec:
                 m=self.nd,
                 n=self.nm,
                 batch=self.n_freq,
-                datatype=BlasDatatype.from_dtype(fhat.dtype),
+                datatype=BlasDatatype.from_dtype(be.dtype_of(fhat)),
                 operation=operation,
             )
             return RocblasSBGEMV().run(
@@ -267,26 +294,30 @@ class FFTMatvec:
                 phase="sbgemv",
                 out=out,
                 x_conj=x_conj,
+                backend=be,
             )
         from repro.blas.gemv_kernels import gemv_strided_batched_reference
 
         return gemv_strided_batched_reference(
-            fhat, mhat, operation, out=out, x_conj=x_conj
+            fhat, mhat, operation, out=out, x_conj=x_conj, backend=be
         )
 
     def _run_sbgemm(
-        self, mhat: np.ndarray, operation: Operation, precision: Precision
-    ) -> np.ndarray:
+        self, mhat: Any, operation: Operation, precision: Precision
+    ) -> Any:
         """Blocked Phase 3: per-frequency GEMM on a (n_freq, nx, k) panel."""
+        be = self.backend
         fhat = self.spectrum(precision)
         # The conjugated spectrum is cached for the adjoint (op C): the
-        # bytes match a fresh np.conj, so results are bitwise-unchanged.
+        # bytes match a fresh conjugation, so results are bitwise-unchanged.
         a_conj = self.spectrum_conj(precision) if operation is Operation.C else None
         out = None
         if self.workspace is not None:
             out_rows = fhat.shape[1] if operation is Operation.N else fhat.shape[2]
             out = self.workspace.checkout(
-                "sbgemm_out", (fhat.shape[0], out_rows, mhat.shape[2]), fhat.dtype
+                "sbgemm_out",
+                (fhat.shape[0], out_rows, mhat.shape[2]),
+                be.dtype_of(fhat),
             )
         if self.dispatcher is not None:
             if self.use_optimized_sbgemv:
@@ -298,6 +329,7 @@ class FFTMatvec:
                     phase="sbgemv",
                     out=out,
                     a_conj=a_conj,
+                    backend=be,
                 )
             # Ablation: force the vendor GEMM, mirroring the GEMV ablation.
             from repro.blas.types import BlasDatatype, GemmProblem
@@ -307,7 +339,7 @@ class FFTMatvec:
                 n=self.nm,
                 k=mhat.shape[2],
                 batch=self.n_freq,
-                datatype=BlasDatatype.from_dtype(fhat.dtype),
+                datatype=BlasDatatype.from_dtype(be.dtype_of(fhat)),
                 operation=operation,
             )
             return self.dispatcher.rocblas_gemm.run(
@@ -318,15 +350,16 @@ class FFTMatvec:
                 phase="sbgemv",
                 out=out,
                 a_conj=a_conj,
+                backend=be,
             )
         from repro.blas.gemm_kernels import gemm_strided_batched_reference
 
         return gemm_strided_batched_reference(
-            fhat, mhat, operation, out=out, a_conj=a_conj
+            fhat, mhat, operation, out=out, a_conj=a_conj, backend=be
         )
 
     # -- the five-phase pipeline -----------------------------------------------
-    def _maybe_cast(self, arr: np.ndarray, prec: Precision, tag: str) -> np.ndarray:
+    def _maybe_cast(self, arr: Any, prec: Precision, tag: str) -> Any:
         """Inter-phase cast with the no-op made explicit (and counted).
 
         Adjacent phases at equal precision skip the cast entirely —
@@ -334,19 +367,20 @@ class FFTMatvec:
         ``copy=False`` doing nothing.  An actual cast writes into an
         arena buffer when the workspace is active.
         """
-        target = complex_dtype(prec) if np.iscomplexobj(arr) else real_dtype(prec)
-        if arr.dtype == target:
+        be = self.backend
+        target = complex_dtype(prec) if be.iscomplex(arr) else real_dtype(prec)
+        if be.dtype_of(arr) == target:
             self.cast_noop_count += 1
             return arr
         if self.workspace is None:
-            return arr.astype(target)
-        buf = self.workspace.checkout(tag, arr.shape, target)
+            return be.astype(arr, target, copy=True)
+        buf = self.workspace.checkout(tag, tuple(arr.shape), target)
         buf[...] = arr
         return buf
 
     def _finalize(
-        self, res: np.ndarray, out: Optional[np.ndarray], detach: bool = True
-    ) -> np.ndarray:
+        self, res: Any, out: Optional[np.ndarray], detach: bool = True
+    ) -> Any:
         """Return the pipeline result as float64.
 
         ``res`` is the unpad output (possibly an arena buffer, possibly
@@ -355,30 +389,46 @@ class FFTMatvec:
         workspace the result is *detached* from the arena (copied) so the
         caller can hold it across subsequent applies.  ``detach=False``
         skips that copy for internal callers (the grid engine) that
-        consume the result before the next apply on this engine.
+        consume the result before the next apply on this engine; on a
+        device backend the undetached result stays a backend array.
+
+        Caller-facing results (``out`` given, or detached) are always
+        host float64, whatever the compute backend.
         """
+        be = self.backend
         if out is None:
+            if self.workspace is None and not detach:
+                return be.astype(res, np.float64, copy=False)
             if self.workspace is None:
-                return res.astype(np.float64, copy=False)
+                return be.from_device(be.astype(res, np.float64, copy=False))
             if not detach:
-                if res.dtype == np.float64:
+                if be.dtype_of(res) == np.float64:
                     return res
-                buf = self.workspace.checkout("final64", res.shape, np.float64)
+                buf = self.workspace.checkout("final64", tuple(res.shape), np.float64)
                 buf[...] = res
                 return buf
-            out = np.empty(res.shape, dtype=np.float64)
-            out[...] = res
+            host = host_empty(tuple(res.shape), np.float64)
+            host[...] = be.from_device(res)
+            return host
+        if be.name == "numpy":
+            if res is out or np.shares_memory(res, out):
+                return out  # unpad already wrote the caller's buffer
+            out[...] = res.reshape(out.shape)
             return out
-        if res is out or np.shares_memory(res, out):
-            return out  # unpad already wrote the caller's buffer
-        out[...] = res.reshape(out.shape)
+        out[...] = be.from_device(res).reshape(out.shape)
         return out
 
     def _unpad_dest(
         self, config: PrecisionConfig, out: Optional[np.ndarray], shape2d
     ) -> Optional[np.ndarray]:
         """Caller ``out`` reshaped as the unpad destination, when the
-        unpad precision already produces float64 (no staging needed)."""
+        unpad precision already produces float64 (no staging needed).
+
+        Only the numpy backend can write the host buffer directly; a
+        device backend unpads on device and transfers in _finalize.
+        """
+        if self.backend.name != "numpy":
+            return None
         if out is None or real_dtype(config.unpad) != np.float64:
             return None
         if not out.flags["C_CONTIGUOUS"]:
@@ -410,7 +460,12 @@ class FFTMatvec:
         # phase's precision (cast fused into the pad kernel's writes).
         with self._phase_ctx("pad"):
             x = pad_to_soti(
-                v_in, config.pad, device=self.device, phase="pad", workspace=ws
+                v_in,
+                config.pad,
+                device=self.device,
+                phase="pad",
+                workspace=ws,
+                backend=self.backend,
             )
 
         # Phase 2: batched forward FFT in its precision.  The input cast
@@ -432,9 +487,10 @@ class FFTMatvec:
                 phase="sbgemv",
                 workspace=ws,
                 tag="fwd_reorder",
+                backend=self.backend,
             )
             vhat = self._maybe_cast(vhat, config.sbgemv, "cast_sbgemv")
-            if vhat.dtype != complex_dtype(config.sbgemv):
+            if self.backend.dtype_of(vhat) != complex_dtype(config.sbgemv):
                 raise ReproError("internal: SBGEMV input precision mismatch")
             yhat = self._run_sbgemv(vhat, operation, config.sbgemv)
             reorder_prec = config.reorder_precision("sbgemv", "ifft")
@@ -445,6 +501,7 @@ class FFTMatvec:
                 phase="sbgemv",
                 workspace=ws,
                 tag="bwd_reorder",
+                backend=self.backend,
             )
 
         # Phase 4: batched inverse FFT.
@@ -467,6 +524,7 @@ class FFTMatvec:
                 phase="unpad",
                 workspace=None if dest is not None else ws,
                 out=dest,
+                backend=self.backend,
             )
         return self._finalize(res, out, detach=detach)
 
@@ -506,6 +564,7 @@ class FFTMatvec:
                 device=self.device,
                 phase="pad",
                 workspace=ws,
+                backend=self.backend,
             )
 
         # Phase 2: one batched forward FFT, batch = k * space.
@@ -523,9 +582,10 @@ class FFTMatvec:
                 phase="sbgemv",
                 workspace=ws,
                 tag="fwd_reorder",
+                backend=self.backend,
             )
             vhat = self._maybe_cast(vhat, config.sbgemv, "cast_sbgemv")
-            if vhat.dtype != complex_dtype(config.sbgemv):
+            if self.backend.dtype_of(vhat) != complex_dtype(config.sbgemv):
                 raise ReproError("internal: SBGEMM input precision mismatch")
             # Phase 3: per-frequency (nx, k) panels through one GEMM.
             yhat = self._run_sbgemm(
@@ -539,6 +599,7 @@ class FFTMatvec:
                 phase="sbgemv",
                 workspace=ws,
                 tag="bwd_reorder",
+                backend=self.backend,
             )
 
         # Phase 4: one batched inverse FFT, batch = k * space.
@@ -558,6 +619,7 @@ class FFTMatvec:
                 phase="unpad",
                 workspace=None if dest is not None else ws,
                 out=dest,
+                backend=self.backend,
             )
         return self._finalize(res.reshape(nt, ny, k), out, detach=detach)
 

@@ -71,6 +71,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from repro.backend import Backend, resolve_backend
 from repro.comm.grid import ProcessGrid
 from repro.comm.partition import check_extents
 from repro.comm.simcomm import SimCommunicator
@@ -85,7 +86,7 @@ from repro.util.blocking import (
     chunk_ranges,
     validate_max_block_k,
 )
-from repro.util.dtypes import cast_to, real_dtype
+from repro.util.dtypes import real_dtype
 from repro.util.timing import SimClock, Stream, Timeline, TimingReport
 from repro.util.validation import ReproError
 from repro.util.workspace import Workspace
@@ -190,6 +191,12 @@ class ParallelFFTMatvec:
         staging.  The chunk loop then reuses ping-pong payload buffers
         across chunks instead of re-``ascontiguousarray``-ing each one.
         Numerics are bitwise-identical with the arena on or off.
+    backend:
+        Array backend every rank engine and comm payload runs on — a
+        :class:`~repro.backend.Backend` instance, a registry name
+        (``"numpy"``/``"cupy"``/``"torch"``), or None for the
+        ``REPRO_BACKEND`` / ``auto`` fallback chain.  Gathered results
+        are always host float64 regardless of backend.
     """
 
     def __init__(
@@ -203,7 +210,9 @@ class ParallelFFTMatvec:
         row_ranges: Optional[Sequence[Tuple[int, int]]] = None,
         col_ranges: Optional[Sequence[Tuple[int, int]]] = None,
         workspace: Union[None, bool] = None,
+        backend: Union[None, str, Backend] = None,
     ) -> None:
+        self.backend = resolve_backend(backend)
         self.matrix = (
             matrix
             if isinstance(matrix, BlockTriangularToeplitz)
@@ -267,13 +276,14 @@ class ParallelFFTMatvec:
                     device=dev,
                     use_optimized_sbgemv=use_optimized_sbgemv,
                     workspace=use_workspace,
+                    backend=self.backend,
                 )
         # Grid-level arena: broadcast payload staging, per-rank receive
         # buffers and float64 input staging shared by the chunk loop and
         # the vector path (per-rank pipeline buffers live in each
         # engine's own arena).
         self.workspace: Optional[Workspace] = (
-            Workspace(name="grid") if use_workspace else None
+            Workspace(name="grid", backend=self.backend) if use_workspace else None
         )
         self.device = self.devices[(0, 0)]
         if spec is not None:
@@ -288,11 +298,13 @@ class ParallelFFTMatvec:
         # Timed collectives (row 0 / col 0) vs silent clones for the
         # other rows/columns, which run concurrently with the timed ones.
         self._silent_row = SimCommunicator(
-            grid.pc, net=grid.net, clock=None, span=grid.pc, name="row_silent"
+            grid.pc, net=grid.net, clock=None, span=grid.pc, name="row_silent",
+            backend=self.backend,
         )
         col_span = (grid.pr - 1) * grid.pc + 1
         self._silent_col = SimCommunicator(
-            grid.pr, net=grid.net, clock=None, span=col_span, name="col_silent"
+            grid.pr, net=grid.net, clock=None, span=col_span, name="col_silent",
+            backend=self.backend,
         )
         # All columns' (rows') collectives run concurrently; the one with
         # the widest payload gates the wall, so that index is the timed
@@ -388,19 +400,21 @@ class ParallelFFTMatvec:
         call; with the arena the strided block is copied-with-cast into
         a persistent buffer — same bytes, no allocation.
         """
+        be = self.backend
         if self.workspace is None:
-            return cast_to(np.ascontiguousarray(block), prec)
-        buf = self.workspace.buffer(tag, block.shape, real_dtype(prec))
-        buf[...] = block
+            return be.cast(be.ascontiguous(be.asarray(block)), prec)
+        buf = self.workspace.buffer(tag, tuple(block.shape), real_dtype(prec))
+        buf[...] = be.asarray(block)
         return buf
 
-    def _as_input64(self, arr: np.ndarray, tag: str) -> np.ndarray:
+    def _as_input64(self, arr, tag: str):
         """Present a broadcast copy to the rank engines as float64."""
-        if arr.dtype == np.float64:
+        be = self.backend
+        if be.dtype_of(arr) == np.float64:
             return arr
         if self.workspace is None:
-            return np.asarray(arr, dtype=np.float64)
-        buf = self.workspace.buffer(tag, arr.shape, np.float64)
+            return be.astype(be.asarray(arr), np.float64, copy=False)
+        buf = self.workspace.buffer(tag, tuple(arr.shape), np.float64)
         buf[...] = arr
         return buf
 
@@ -491,7 +505,8 @@ class ParallelFFTMatvec:
             c0, c1 = self._col_ranges[c]
             payload = self._stage_payload(mm[:, c0:c1], cfg.pad, f"pay/c{c}")
             copies = self._timed_col(c).bcast(
-                payload, root=0, phase="pad", workspace=self.workspace, tag=f"recv/c{c}"
+                payload, root=0, phase="pad", workspace=self.workspace,
+                tag=f"recv/c{c}", backend=self.backend,
             )
             col_blocks[c] = self._as_input64(copies[0], f"in64/c{c}")
 
@@ -510,12 +525,14 @@ class ParallelFFTMatvec:
         for r in range(self.grid.pr):
             r0, r1 = self._row_ranges[r]
             contribs = [
-                cast_to(partials[(r, c)], cfg.unpad) for c in range(self.grid.pc)
+                self.backend.cast(partials[(r, c)], cfg.unpad)
+                for c in range(self.grid.pc)
             ]
             reduced = self._timed_row(r).reduce(
-                contribs, root=0, precision=cfg.unpad, phase="unpad"
+                contribs, root=0, precision=cfg.unpad, phase="unpad",
+                backend=self.backend,
             )
-            out[:, r0:r1] = reduced
+            out[:, r0:r1] = self.backend.from_device(reduced)
 
         self._record(before, f"{cfg} F ({self.grid.pr}x{self.grid.pc})")
         self.matvec_count += 1
@@ -538,7 +555,8 @@ class ParallelFFTMatvec:
             r0, r1 = self._row_ranges[r]
             payload = self._stage_payload(dd[:, r0:r1], cfg.pad, f"pay/r{r}")
             copies = self._timed_row(r).bcast(
-                payload, root=0, phase="pad", workspace=self.workspace, tag=f"recv/r{r}"
+                payload, root=0, phase="pad", workspace=self.workspace,
+                tag=f"recv/r{r}", backend=self.backend,
             )
             row_blocks[r] = self._as_input64(copies[0], f"in64/r{r}")
 
@@ -554,12 +572,14 @@ class ParallelFFTMatvec:
         for c in range(self.grid.pc):
             c0, c1 = self._col_ranges[c]
             contribs = [
-                cast_to(partials[(r, c)], cfg.unpad) for r in range(self.grid.pr)
+                self.backend.cast(partials[(r, c)], cfg.unpad)
+                for r in range(self.grid.pr)
             ]
             reduced = self._timed_col(c).reduce(
-                contribs, root=0, precision=cfg.unpad, phase="unpad"
+                contribs, root=0, precision=cfg.unpad, phase="unpad",
+                backend=self.backend,
             )
-            out[:, c0:c1] = reduced
+            out[:, c0:c1] = self.backend.from_device(reduced)
 
         self._record(before, f"{cfg} F* ({self.grid.pr}x{self.grid.pc})")
         self.matvec_count += 1
@@ -610,6 +630,7 @@ class ParallelFFTMatvec:
                     phase="pad",
                     workspace=self.workspace,
                     tag=f"recv[{slot}]/{axis}{i}",
+                    backend=self.backend,
                 )
             in_blocks[i] = self._as_input64(copies[0], f"in64[{slot}]/{axis}{i}")
         t1 = stream.cursor if stream is not None else self.grid.clock.now
@@ -657,20 +678,21 @@ class ParallelFFTMatvec:
             o0, o1 = out_ranges[o]
             if adjoint:
                 contribs = [
-                    cast_to(partials[(r, o)], cfg.unpad)
+                    self.backend.cast(partials[(r, o)], cfg.unpad)
                     for r in range(self.grid.pr)
                 ]
             else:
                 contribs = [
-                    cast_to(partials[(o, c)], cfg.unpad)
+                    self.backend.cast(partials[(o, c)], cfg.unpad)
                     for c in range(self.grid.pc)
                 ]
             cobj = out_comm(o)
             with cobj.on_stream(stream if cobj.clock is not None else None):
                 reduced = cobj.reduce(
-                    contribs, root=0, precision=cfg.unpad, phase="unpad"
+                    contribs, root=0, precision=cfg.unpad, phase="unpad",
+                    backend=self.backend,
                 )
-            out[:, o0:o1, :] = reduced
+            out[:, o0:o1, :] = self.backend.from_device(reduced)
 
     def _matmat_serial(
         self,

@@ -19,10 +19,9 @@ direct cast-on-assignment rounds exactly like ``astype``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
-import numpy as np
-
+from repro.backend import Backend, NumpyBackend
 from repro.gpu.bandwidth import stream_efficiency
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
@@ -31,6 +30,8 @@ from repro.util.validation import ReproError
 from repro.util.workspace import Workspace
 
 __all__ = ["pad_to_soti", "unpad_from_soti"]
+
+_NUMPY = NumpyBackend()
 
 
 def _charge(
@@ -56,12 +57,13 @@ def _charge(
 
 
 def pad_to_soti(
-    v: np.ndarray,
+    v: Any,
     precision: Precision,
     device: Optional[SimulatedDevice] = None,
     phase: str = "pad",
     workspace: Optional[Workspace] = None,
-) -> np.ndarray:
+    backend: Optional[Backend] = None,
+) -> Any:
     """Phase-1 kernel: (Nt, nx) time-outer -> (nx, 2*Nt) padded SOTI.
 
     The output dtype is the phase's precision — the cast (if any) is
@@ -70,15 +72,16 @@ def pad_to_soti(
     and only the padding half is re-zeroed, no allocation at steady
     state.
     """
-    a = np.asarray(v)
+    be = backend if backend is not None else _NUMPY
+    a = be.asarray(v)
     if a.ndim != 2:
         raise ReproError(f"pad expects a 2-D (Nt, nx) block vector, got {a.shape}")
-    if not np.isrealobj(a):
+    if be.iscomplex(a):
         raise ReproError("pad operates on real time-domain vectors")
     nt, nx = a.shape
     dt = real_dtype(precision)
     if workspace is None:
-        out = np.zeros((nx, 2 * nt), dtype=dt)
+        out = be.zeros((nx, 2 * nt), dt)
     else:
         # The pad kernel is this buffer's only writer, so the zero
         # padding half written on first use survives every reuse — only
@@ -89,27 +92,28 @@ def pad_to_soti(
     # Transpose+cast in one logical kernel: each output row is one
     # spatial point's time series followed by Nt zeros (the assignment
     # casts on the write side — no staging temporary).
-    out[:, :nt] = a.T
+    out[:, :nt] = be.transpose(a)
     _charge(
         device,
         "pad_zero",
-        bytes_read=float(a.nbytes),
-        bytes_written=float(out.nbytes),
-        out_elems=out.size,
+        bytes_read=float(be.nbytes(a)),
+        bytes_written=float(be.nbytes(out)),
+        out_elems=be.size(out),
         phase=phase,
     )
     return out
 
 
 def unpad_from_soti(
-    v: np.ndarray,
+    v: Any,
     nt: int,
     precision: Precision,
     device: Optional[SimulatedDevice] = None,
     phase: str = "unpad",
     workspace: Optional[Workspace] = None,
-    out: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    out: Optional[Any] = None,
+    backend: Optional[Backend] = None,
+) -> Any:
     """Phase-5 kernel: (nx, 2*Nt) padded SOTI -> (Nt, nx) time-outer.
 
     ``out`` (shape ``(nt, nx)``, dtype of the phase precision) writes the
@@ -117,7 +121,8 @@ def unpad_from_soti(
     checked-out arena buffer.  Both produce the bytes of the default
     allocate-per-call path.
     """
-    a = np.asarray(v)
+    be = backend if backend is not None else _NUMPY
+    a = be.asarray(v)
     if a.ndim != 2:
         raise ReproError(f"unpad expects a 2-D (nx, 2*Nt) vector, got {a.shape}")
     if a.shape[1] != 2 * nt:
@@ -126,23 +131,23 @@ def unpad_from_soti(
         )
     dt = real_dtype(precision)
     if out is not None:
-        if out.shape != (nt, a.shape[0]) or out.dtype != dt:
+        if tuple(out.shape) != (nt, a.shape[0]) or be.dtype_of(out) != dt:
             raise ReproError(
                 f"unpad out buffer must be {(nt, a.shape[0])} {dt}, "
-                f"got {out.shape} {out.dtype}"
+                f"got {tuple(out.shape)} {be.dtype_of(out)}"
             )
-        out[...] = a[:, :nt].T
+        out[...] = be.transpose(a[:, :nt])
     elif workspace is not None:
         out = workspace.checkout(phase, (nt, a.shape[0]), dt)
-        out[...] = a[:, :nt].T
+        out[...] = be.transpose(a[:, :nt])
     else:
-        out = np.ascontiguousarray(a[:, :nt].T).astype(dt, copy=False)
+        out = be.astype(be.ascontiguous(be.transpose(a[:, :nt])), dt, copy=False)
     _charge(
         device,
         "unpad",
-        bytes_read=float(a.nbytes) / 2.0,  # only the first half is read
-        bytes_written=float(out.nbytes),
-        out_elems=out.size,
+        bytes_read=float(be.nbytes(a)) / 2.0,  # only the first half is read
+        bytes_written=float(be.nbytes(out)),
+        out_elems=be.size(out),
         phase=phase,
     )
     return out

@@ -23,18 +23,19 @@ either way.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
-import numpy as np
-
+from repro.backend import Backend, NumpyBackend
 from repro.gpu.bandwidth import stream_efficiency
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
-from repro.util.dtypes import Precision, cast_to, complex_dtype, real_dtype
+from repro.util.dtypes import Precision, complex_dtype, real_dtype
 from repro.util.validation import ReproError
 from repro.util.workspace import Workspace
 
 __all__ = ["tosi_to_soti", "soti_to_tosi", "reorder_bytes"]
+
+_NUMPY = NumpyBackend()
 
 
 def reorder_bytes(arr_shape, in_itemsize: int, out_itemsize: int) -> float:
@@ -48,81 +49,88 @@ def reorder_bytes(arr_shape, in_itemsize: int, out_itemsize: int) -> float:
 def _charge_reorder(
     device: Optional[SimulatedDevice],
     name: str,
-    in_arr: np.ndarray,
-    out_arr: np.ndarray,
+    in_bytes: int,
+    out_bytes: int,
+    out_elems: int,
     phase: str,
 ) -> None:
     if device is None:
         return
-    traffic = float(in_arr.nbytes + out_arr.nbytes)
+    traffic = float(in_bytes + out_bytes)
     eff = stream_efficiency(traffic, device.spec)
     # Transposes are less cache-friendly than pure streams; apply the
     # classic ~0.75 factor of a tiled transpose kernel.
     kernel = KernelLaunch(
         name=name,
-        grid=Dim3(x=max(1, (out_arr.size + 255) // 256)),
+        grid=Dim3(x=max(1, (out_elems + 255) // 256)),
         block=Dim3(x=256),
-        bytes_read=float(in_arr.nbytes),
-        bytes_written=float(out_arr.nbytes),
+        bytes_read=float(in_bytes),
+        bytes_written=float(out_bytes),
         efficiency_hint=eff * 0.75,
     )
     device.launch(kernel, phase=phase)
 
 
 def _reorder(
-    v: np.ndarray,
+    v: Any,
     precision: Optional[Precision],
     device: Optional[SimulatedDevice],
     phase: str,
     workspace: Optional[Workspace],
     tag: str,
     kernel_name: str,
-) -> np.ndarray:
-    a = np.asarray(v)
+    backend: Optional[Backend],
+) -> Any:
+    be = backend if backend is not None else _NUMPY
+    a = be.asarray(v)
     if a.ndim != 2:
         raise ReproError(f"reorder expects a 2-D block vector, got ndim={a.ndim}")
     if workspace is not None:
         if precision is None:
-            dt = a.dtype
+            dt = be.dtype_of(a)
         else:
             dt = (
                 complex_dtype(precision)
-                if np.iscomplexobj(a)
+                if be.iscomplex(a)
                 else real_dtype(precision)
             )
         out = workspace.checkout(tag, (a.shape[1], a.shape[0]), dt)
-        out[...] = a.T  # fused transpose + cast on the write side
+        out[...] = be.transpose(a)  # fused transpose + cast on the write side
     else:
-        out = np.ascontiguousarray(a.T)
+        out = be.ascontiguous(be.transpose(a))
         if precision is not None:
-            out = cast_to(out, precision)
-    _charge_reorder(device, kernel_name, a, out, phase)
+            out = be.cast(out, precision)
+    _charge_reorder(
+        device, kernel_name, be.nbytes(a), be.nbytes(out), be.size(out), phase
+    )
     return out
 
 
 def tosi_to_soti(
-    v: np.ndarray,
+    v: Any,
     precision: Optional[Precision] = None,
     device: Optional[SimulatedDevice] = None,
     phase: str = "reorder",
     workspace: Optional[Workspace] = None,
     tag: str = "tosi_to_soti",
-) -> np.ndarray:
+    backend: Optional[Backend] = None,
+) -> Any:
     """(time, space) -> (space, time), optionally casting (fused)."""
     return _reorder(
-        v, precision, device, phase, workspace, tag, "reorder_tosi_to_soti"
+        v, precision, device, phase, workspace, tag, "reorder_tosi_to_soti", backend
     )
 
 
 def soti_to_tosi(
-    v: np.ndarray,
+    v: Any,
     precision: Optional[Precision] = None,
     device: Optional[SimulatedDevice] = None,
     phase: str = "reorder",
     workspace: Optional[Workspace] = None,
     tag: str = "soti_to_tosi",
-) -> np.ndarray:
+    backend: Optional[Backend] = None,
+) -> Any:
     """(space, time) -> (time, space), optionally casting (fused)."""
     return _reorder(
-        v, precision, device, phase, workspace, tag, "reorder_soti_to_tosi"
+        v, precision, device, phase, workspace, tag, "reorder_soti_to_tosi", backend
     )

@@ -127,7 +127,8 @@ class BlockTriangularToeplitz:
     def matvec_reference(self, m: np.ndarray) -> np.ndarray:
         """Direct block convolution d_i = sum_{j<=i} F_{i-j} m_j."""
         mm = self.check_input(m).astype(np.float64, copy=False)
-        out = np.zeros((self.nt, self.nd))
+        # Every row is fully assigned by the einsum below; empty suffices.
+        out = np.empty((self.nt, self.nd))
         for i in range(self.nt):
             # d_i = sum_t F_t m_{i-t}
             lags = self.blocks[: i + 1]  # (i+1, Nd, Nm)
@@ -138,7 +139,8 @@ class BlockTriangularToeplitz:
     def rmatvec_reference(self, d: np.ndarray) -> np.ndarray:
         """Direct adjoint m_j = sum_{i>=j} F_{i-j}^T d_i."""
         dd = self.check_output(d).astype(np.float64, copy=False)
-        out = np.zeros((self.nt, self.nm))
+        # Every row is fully assigned by the einsum below; empty suffices.
+        out = np.empty((self.nt, self.nm))
         for j in range(self.nt):
             lags = self.blocks[: self.nt - j]  # F_0 .. F_{Nt-1-j}
             future = dd[j:]  # d_j .. d_{Nt-1}

@@ -31,10 +31,11 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
+from repro.backend import Backend, NumpyBackend
 from repro.gpu.bandwidth import stream_efficiency
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
@@ -43,6 +44,8 @@ from repro.util.validation import ReproError, check_positive_int
 from repro.util.workspace import Workspace
 
 __all__ = ["FFTType", "FFTPlan", "plan_many"]
+
+_NUMPY = NumpyBackend()
 
 
 class FFTType(enum.Enum):
@@ -111,11 +114,13 @@ class FFTPlan:
         batch: int,
         fft_type: FFTType,
         device: Optional[SimulatedDevice] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         self.n = check_positive_int(n, "n")
         self.batch = check_positive_int(batch, "batch")
         self.fft_type = fft_type
         self.device = device
+        self.backend = backend if backend is not None else _NUMPY
         self.precision = fft_type.precision
         self._rdt = real_dtype(self.precision)
         self._cdt = complex_dtype(self.precision)
@@ -159,40 +164,41 @@ class FFTPlan:
         return self.device.launch(kernel, phase=phase)
 
     # -- execution -------------------------------------------------------------
-    def _check_batch_shape(self, a: np.ndarray, length: int, what: str) -> np.ndarray:
-        arr = np.asarray(a)
+    def _check_batch_shape(self, a: Any, length: int, what: str) -> Any:
+        arr = self.backend.asarray(a)
         if arr.ndim == 1:
             if self.batch != 1:
                 raise ReproError(
                     f"{what}: 1-D input but plan batch={self.batch}"
                 )
             arr = arr[None, :]
-        if arr.ndim != 2 or arr.shape != (self.batch, length):
+        if arr.ndim != 2 or tuple(arr.shape) != (self.batch, length):
             raise ReproError(
-                f"{what}: expected shape ({self.batch}, {length}), got {arr.shape}"
+                f"{what}: expected shape ({self.batch}, {length}), got {tuple(arr.shape)}"
             )
         return arr
 
     def _stage(
         self,
-        arr: np.ndarray,
+        arr: Any,
         dtype: np.dtype,
         workspace: Optional[Workspace],
         tag: str,
-    ) -> np.ndarray:
+    ) -> Any:
         """Present the input contiguously at the plan dtype.
 
         Matching dtype + layout is an explicit (counted) no-op; with a
         workspace a mismatch is a copy-into the persistent staging
         buffer, not a fresh allocation.
         """
-        if arr.dtype == dtype and arr.flags["C_CONTIGUOUS"]:
+        be = self.backend
+        if be.dtype_of(arr) == dtype and be.is_contiguous(arr):
             self.stage_noops += 1
             return arr
         if workspace is None:
-            return np.ascontiguousarray(arr, dtype=dtype)
-        buf = workspace.checkout(tag, arr.shape, dtype)
-        np.copyto(buf, arr, casting="same_kind")
+            return be.ascontiguous(arr, dtype=dtype)
+        buf = workspace.checkout(tag, tuple(arr.shape), dtype)
+        be.copyto(buf, arr)
         self.stage_copies += 1
         return buf
 
@@ -211,14 +217,15 @@ class FFTPlan:
             raise ReproError(
                 f"plan type {self.fft_type.value} is inverse-only; use inverse()"
             )
+        be = self.backend
         if self.fft_type.is_real_forward:
             arr = self._check_batch_shape(x, self.n, "execute")
             arr = self._stage(arr, self._rdt, workspace, "fft_stage_fwd")
-            out = np.fft.rfft(arr, axis=1).astype(self._cdt, copy=False)
+            out = be.astype(be.fft.rfft(arr, axis=1), self._cdt, copy=False)
         else:
             arr = self._check_batch_shape(x, self.n, "execute")
             arr = self._stage(arr, self._cdt, workspace, "fft_stage_fwd")
-            out = np.fft.fft(arr, axis=1).astype(self._cdt, copy=False)
+            out = be.astype(be.fft.fft(arr, axis=1), self._cdt, copy=False)
         self.executions += 1
         self._charge(phase)
         return out
@@ -240,18 +247,19 @@ class FFTPlan:
             raise ReproError(
                 f"plan type {self.fft_type.value} is forward-only; use execute()"
             )
+        be = self.backend
         scale = np.asarray(self.n, dtype=self._rdt)
         if self.fft_type.is_real_inverse:
             arr = self._check_batch_shape(x, self.half_len, "inverse")
             arr = self._stage(arr, self._cdt, workspace, "fft_stage_inv")
-            out = np.fft.irfft(arr, n=self.n, axis=1).astype(self._rdt, copy=False)
+            out = be.astype(be.fft.irfft(arr, n=self.n, axis=1), self._rdt, copy=False)
         else:
             arr = self._check_batch_shape(x, self.n, "inverse")
             arr = self._stage(arr, self._cdt, workspace, "fft_stage_inv")
-            out = np.fft.ifft(arr, axis=1).astype(self._cdt, copy=False)
+            out = be.astype(be.fft.ifft(arr, axis=1), self._cdt, copy=False)
         # Unnormalize in place: the transform output is freshly owned, so
         # the scaling needs no temporary (bitwise-identical multiply).
-        np.multiply(out, scale, out=out)
+        be.multiply(out, scale, out=out)
         self.executions += 1
         self._charge(phase)
         return out
@@ -265,10 +273,11 @@ def plan_many(
     real: bool = True,
     forward: bool = True,
     device: Optional[SimulatedDevice] = None,
+    backend: Optional[Backend] = None,
 ) -> FFTPlan:
     """Convenience constructor in the style of ``cufftPlanMany``."""
     if real:
         t = FFTType.real_forward(precision) if forward else FFTType.real_inverse(precision)
     else:
         t = FFTType.complex_complex(precision)
-    return FFTPlan(n=n, batch=batch, fft_type=t, device=device)
+    return FFTPlan(n=n, batch=batch, fft_type=t, device=device, backend=backend)

@@ -201,8 +201,15 @@ class LinearBayesianProblem:
         nt, nd = self.p2o.nt, self.p2o.nd
         n = nt * nd
         H = np.empty((n, n))
-        for j0, j1 in chunk_ranges(n, validate_max_block_k(block_k)):
-            E = np.zeros((nt, nd, j1 - j0))
+        ranges = chunk_ranges(n, validate_max_block_k(block_k))
+        # One unit-vector block allocated for the whole sweep (sized for
+        # the widest chunk); each pass re-zeros the slice it uses instead
+        # of allocating a fresh block per chunk.
+        kmax = max(j1 - j0 for j0, j1 in ranges)
+        E_full = np.empty((nt, nd, kmax))
+        for j0, j1 in ranges:
+            E = E_full[:, :, : j1 - j0]
+            E[...] = 0.0
             for col in range(j0, j1):
                 E[col // nd, col % nd, col - j0] = 1.0 / self.noise_std
             V = self.p2o.applyT_block(E, config=config)

@@ -38,16 +38,21 @@ registrations (and drops the buffers), letting leak checks pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import Backend, NumpyBackend
 from repro.gpu.memory import Allocation, DeviceAllocator
 from repro.util.validation import ReproError
 
 __all__ = ["Workspace", "WorkspaceStats"]
 
 _Key = Tuple[str, Tuple[int, ...], np.dtype]
+
+# Leaf-module default: the numpy singleton.  Engines resolve the
+# env/auto chain and pass their backend down explicitly.
+_NUMPY = NumpyBackend()
 
 
 @dataclass(frozen=True)
@@ -72,14 +77,22 @@ class Workspace:
         with, so the modeled device peak includes the arena footprint.
     name:
         Label used in allocator tags and reprs.
+    backend:
+        Array backend that allocates the buffers (default numpy).  Keys
+        stay numpy-dtype-based regardless of backend; only the buffer
+        objects change type.
     """
 
     def __init__(
-        self, allocator: Optional[DeviceAllocator] = None, name: str = "workspace"
+        self,
+        allocator: Optional[DeviceAllocator] = None,
+        name: str = "workspace",
+        backend: Optional[Backend] = None,
     ) -> None:
         self.allocator = allocator
         self.name = name
-        self._pools: Dict[_Key, List[np.ndarray]] = {}
+        self.backend = backend if backend is not None else _NUMPY
+        self._pools: Dict[_Key, List[Any]] = {}
         self._cursors: Dict[_Key, int] = {}
         self._registered: List[Allocation] = []
         self._registered_bytes = 0
@@ -95,17 +108,19 @@ class Workspace:
             shape = (int(shape),)
         return (str(tag), tuple(int(s) for s in shape), np.dtype(dtype))
 
-    def _grow(self, key: _Key) -> np.ndarray:
+    def _grow(self, key: _Key) -> Any:
         tag, shape, dtype = key
-        buf = np.empty(shape, dtype=dtype)
+        buf = self.backend.empty(shape, dtype)
         self.alloc_count += 1
         if self.allocator is not None:
-            alloc = self.allocator.malloc(buf.nbytes, tag=f"{self.name}/{tag}")
+            alloc = self.allocator.malloc(
+                self.backend.nbytes(buf), tag=f"{self.name}/{tag}"
+            )
             self._registered.append(alloc)
             self._registered_bytes += alloc.nbytes
         return buf
 
-    def _handout(self, tag: str, shape, dtype, slot: int) -> Tuple[np.ndarray, bool]:
+    def _handout(self, tag: str, shape, dtype, slot: int) -> Tuple[Any, bool]:
         if self._released:
             raise ReproError(f"workspace {self.name!r} has been released")
         key = self._key(tag, shape, dtype)
@@ -117,12 +132,12 @@ class Workspace:
         return pool[slot], fresh
 
     # -- handout APIs --------------------------------------------------------
-    def checkout(self, tag: str, shape, dtype) -> np.ndarray:
+    def checkout(self, tag: str, shape, dtype) -> Any:
         """Per-apply slot: the n-th checkout of a key since ``reset()``
         returns the n-th buffer of that key's pool (uninitialized)."""
         return self.checkout_fresh(tag, shape, dtype)[0]
 
-    def checkout_fresh(self, tag: str, shape, dtype) -> Tuple[np.ndarray, bool]:
+    def checkout_fresh(self, tag: str, shape, dtype) -> Tuple[Any, bool]:
         """Like :meth:`checkout`, also reporting whether the buffer was
         just allocated.  A site that is the key's *only writer* can use
         the flag to skip re-establishing an invariant it already wrote
@@ -134,7 +149,7 @@ class Workspace:
         self._cursors[key] = slot + 1
         return self._handout(tag, shape, dtype, slot)
 
-    def buffer(self, tag: str, shape, dtype) -> np.ndarray:
+    def buffer(self, tag: str, shape, dtype) -> Any:
         """Persistent identity: the same key always returns the same
         buffer, across resets (uninitialized on first handout)."""
         return self._handout(tag, shape, dtype, 0)[0]
@@ -157,7 +172,9 @@ class Workspace:
     @property
     def nbytes(self) -> int:
         """Exact bytes held by arena buffers (unaligned)."""
-        return sum(b.nbytes for pool in self._pools.values() for b in pool)
+        return sum(
+            self.backend.nbytes(b) for pool in self._pools.values() for b in pool
+        )
 
     @property
     def registered_bytes(self) -> int:

@@ -1,0 +1,132 @@
+"""Fallback-chain resolution: env handling, warnings, explicit errors."""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+import pytest
+
+from repro.backend import (
+    BACKEND_CHAIN,
+    Backend,
+    BackendFallbackWarning,
+    BackendUnavailableError,
+    NumpyBackend,
+    available_backends,
+    get_default_backend,
+    reset_backend_state,
+    resolve_backend,
+    set_default_backend,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Each test sees a registry with no cached instances or warn flag."""
+    reset_backend_state()
+    yield
+    reset_backend_state()
+
+
+def _mock_device_backends_absent(monkeypatch):
+    """Make ``import cupy`` / ``import torch`` raise ImportError."""
+    monkeypatch.setitem(sys.modules, "cupy", None)
+    monkeypatch.setitem(sys.modules, "torch", None)
+
+
+def test_chain_order_ends_in_numpy():
+    assert BACKEND_CHAIN == ("cupy", "torch", "numpy")
+
+
+def test_explicit_numpy_always_resolves():
+    be = resolve_backend("numpy")
+    assert isinstance(be, NumpyBackend)
+    assert be.name == "numpy"
+    assert not be.is_device
+
+
+def test_backend_instance_passes_through():
+    mine = NumpyBackend()
+    assert resolve_backend(mine) is mine
+
+
+def test_instances_cached_per_name():
+    assert resolve_backend("numpy") is resolve_backend("numpy")
+
+
+def test_auto_with_device_backends_absent_falls_back_to_numpy(monkeypatch):
+    _mock_device_backends_absent(monkeypatch)
+    with pytest.warns(BackendFallbackWarning) as record:
+        be = resolve_backend("auto")
+    assert be.name == "numpy"
+    fallback = [w for w in record if issubclass(w.category, BackendFallbackWarning)]
+    assert len(fallback) == 1
+    msg = str(fallback[0].message)
+    assert "numpy" in msg and "cupy" in msg and "torch" in msg
+
+
+def test_auto_warns_exactly_once_per_process(monkeypatch):
+    _mock_device_backends_absent(monkeypatch)
+    with pytest.warns(BackendFallbackWarning):
+        resolve_backend("auto")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a second warning would raise
+        assert resolve_backend("auto").name == "numpy"
+
+
+def test_env_variable_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert resolve_backend(None).name == "numpy"
+
+
+def test_env_auto_is_default(monkeypatch):
+    _mock_device_backends_absent(monkeypatch)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    with pytest.warns(BackendFallbackWarning):
+        assert resolve_backend(None).name == "numpy"
+
+
+@pytest.mark.parametrize("name", ["cupy", "torch"])
+def test_explicit_device_backend_raises_with_install_hint(monkeypatch, name):
+    monkeypatch.setitem(sys.modules, name, None)
+    with pytest.raises(BackendUnavailableError) as exc:
+        resolve_backend(name)
+    msg = str(exc.value)
+    assert name in msg
+    assert "pip install" in msg
+    assert f".[{name}]" in msg
+
+
+def test_explicit_mode_never_silently_substitutes(monkeypatch):
+    """Explicit cupy on a cupy-less host must raise, not hand back numpy."""
+    monkeypatch.setitem(sys.modules, "cupy", None)
+    with pytest.raises(BackendUnavailableError):
+        resolve_backend("cupy")
+
+
+def test_unknown_backend_name_lists_known_ones():
+    with pytest.raises(BackendUnavailableError) as exc:
+        resolve_backend("tensorflow")
+    msg = str(exc.value)
+    assert "tensorflow" in msg
+    for known in BACKEND_CHAIN:
+        assert known in msg
+
+
+def test_available_backends_probes_all(monkeypatch):
+    _mock_device_backends_absent(monkeypatch)
+    probes = available_backends()
+    assert set(probes) == set(BACKEND_CHAIN)
+    assert probes["numpy"][0] is True
+    assert probes["cupy"][0] is False and probes["torch"][0] is False
+
+
+def test_default_backend_roundtrip(monkeypatch):
+    _mock_device_backends_absent(monkeypatch)
+    with pytest.warns(BackendFallbackWarning):
+        first = get_default_backend()
+    assert get_default_backend() is first
+    override = set_default_backend("numpy")
+    assert isinstance(override, Backend)
+    assert get_default_backend() is override

@@ -1,0 +1,86 @@
+"""Backend-lint: the hot path must not bypass the backend layer.
+
+Every hot-path module routes allocation, matmul and FFT work through a
+:class:`repro.backend.Backend`, so a CuPy/Torch run never silently drops
+back to host numpy mid-pipeline.  This test walks the AST of each linted
+module and fails — with ``file:line`` — on any direct ``np.empty`` /
+``np.zeros`` / ``np.matmul`` call or any ``np.fft`` attribute access.
+(The ``repro.backend`` package itself is exempt: the numpy backend *is*
+the place those calls live.)  Host-side result buffers use
+:func:`repro.backend.host_empty`, which the lint deliberately permits.
+
+AST-based rather than regex so docstrings and comments mentioning
+``np.zeros`` don't trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# Modules whose array work must flow through the backend seam: the
+# five-phase pipeline plus the BLAS family and comm payload staging.
+LINTED = sorted(
+    [
+        *(SRC / "blas").glob("*.py"),
+        SRC / "fft" / "plan.py",
+        SRC / "core" / "matvec.py",
+        SRC / "core" / "phases.py",
+        SRC / "core" / "reorder.py",
+        SRC / "util" / "workspace.py",
+        SRC / "comm" / "collectives.py",
+        SRC / "comm" / "simcomm.py",
+        SRC / "comm" / "grid.py",
+    ]
+)
+
+# Direct calls banned outside the numpy backend implementation.
+BANNED_CALLS = {"empty", "zeros", "matmul"}
+
+
+def _np_attribute(node: ast.AST) -> bool:
+    """True for an ``np.<attr>`` attribute node."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "np"
+    )
+
+
+def _violations(path: pathlib.Path) -> list:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _np_attribute(node.func):
+            if node.func.attr in BANNED_CALLS:
+                found.append((path, node.lineno, f"np.{node.func.attr}(...)"))
+        if _np_attribute(node) and node.attr == "fft":
+            found.append((path, node.lineno, "np.fft"))
+    return found
+
+
+def test_linted_files_exist():
+    assert LINTED, "lint file list resolved to nothing — layout changed?"
+    for path in LINTED:
+        assert path.is_file(), f"linted module missing: {path}"
+
+
+@pytest.mark.parametrize("path", LINTED, ids=lambda p: str(p.relative_to(SRC)))
+def test_no_hot_path_numpy_escapes(path: pathlib.Path):
+    offenders = _violations(path)
+    msg = "\n".join(
+        f"  {p.relative_to(SRC.parent.parent)}:{line}: direct {what} — "
+        "route through the Backend instance"
+        for p, line, what in offenders
+    )
+    assert not offenders, f"hot-path numpy escapes:\n{msg}"
+
+
+def test_backend_package_is_exempt():
+    """The numpy backend itself legitimately calls np.empty/np.zeros."""
+    backend_files = {p.resolve() for p in (SRC / "backend").glob("*.py")}
+    assert backend_files.isdisjoint({p.resolve() for p in LINTED})
