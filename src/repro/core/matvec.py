@@ -35,6 +35,7 @@ posterior sampling and OED sweeps get their speedup.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -126,7 +127,10 @@ class FFTMatvec:
             self.device.clock.phase_total("setup") if self.device is not None else 0.0
         )
 
-        self._plans: Dict[Tuple[str, Precision, int], FFTPlan] = {}
+        self._plans: "OrderedDict[Tuple[str, Precision, int], FFTPlan]" = (
+            OrderedDict()
+        )
+        self.plan_evictions = 0  # plans dropped by the LRU bound
         self.last_timing: Optional[TimingReport] = None
         self.matvec_count = 0
         self.matmat_count = 0
@@ -220,21 +224,62 @@ class FFTMatvec:
             )
         return self._fhat_conj[precision]
 
+    # Bound on the (kind, precision, batch)-keyed FFT-plan cache.  Under
+    # serving load the batch dimension varies with every coalesced block
+    # width, so an unbounded dict would grow one plan per (k, precision)
+    # ever seen; least-recently-used plans are dropped past this size
+    # (per instance — override the attribute to tune).
+    plan_cache_size = 32
+
     def _plan(self, kind: str, precision: Precision, batch: int) -> FFTPlan:
         key = (kind, precision, batch)
-        if key not in self._plans:
-            if kind == "fwd":
-                t = FFTType.real_forward(precision)
-            else:
-                t = FFTType.real_inverse(precision)
-            self._plans[key] = FFTPlan(
-                n=self.n_pad,
-                batch=batch,
-                fft_type=t,
-                device=self.device,
-                backend=self.backend,
-            )
-        return self._plans[key]
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            return plan
+        if kind == "fwd":
+            t = FFTType.real_forward(precision)
+        else:
+            t = FFTType.real_inverse(precision)
+        plan = FFTPlan(
+            n=self.n_pad,
+            batch=batch,
+            fft_type=t,
+            device=self.device,
+            backend=self.backend,
+        )
+        self._plans[key] = plan
+        limit = max(1, int(self.plan_cache_size))
+        while len(self._plans) > limit:
+            self._plans.popitem(last=False)
+            self.plan_evictions += 1
+        return plan
+
+    def geometry_key(
+        self, config: Union[None, str, PrecisionConfig] = None
+    ) -> Tuple:
+        """Stable, hashable fingerprint of this engine's geometry.
+
+        Two engines with equal keys run the same five-phase shapes:
+        problem extents, padded/frequency lengths, backend name and the
+        simulated device (None without one).  ``config`` folds a
+        precision configuration into the key for callers that cache per
+        config.  The serving layer's coalescer and
+        :class:`~repro.serve.cache.EngineCache` group requests by this
+        key (plus the kernel-content digest — geometry says nothing
+        about the Toeplitz blocks' values).
+        """
+        return (
+            "FFTMatvec",
+            self.nt,
+            self.nd,
+            self.nm,
+            self.n_pad,
+            self.n_freq,
+            self.backend.name,
+            self.device.spec.name if self.device is not None else None,
+            str(PrecisionConfig.parse(config)) if config is not None else None,
+        )
 
     # -- phase wrappers ------------------------------------------------------
     def _phase_ctx(self, name: str):
@@ -358,6 +403,69 @@ class FFTMatvec:
             fhat, mhat, operation, out=out, a_conj=a_conj, backend=be
         )
 
+    def _run_sbgemv_panel(
+        self, mhat: Any, operation: Operation, precision: Precision
+    ) -> Any:
+        """Deterministic blocked Phase 3: k per-frequency GEMVs on a panel.
+
+        ``mhat`` is the ``(n_freq, nx, k)`` panel :meth:`_run_sbgemm`
+        would consume; column ``j`` of the result carries **bitwise** the
+        bytes :meth:`_run_sbgemv` produces for column ``j`` alone.  The
+        blocked GEMM does not have that property — its accumulation
+        order over the shared ``nx`` contraction differs from the GEMV's
+        — so serving-layer coalescing, which promises results identical
+        to sequential applies, routes through this method instead.
+
+        On the numpy backend without a device the k GEMVs run as one
+        broadcast-batched matmul over strided per-column views (no
+        copies, ~2.5-6x faster than looping Python-side).  With a
+        dispatcher attached (or a non-numpy backend) the columns loop
+        through :meth:`_run_sbgemv` so the modeled device time honestly
+        charges k GEMV launches — the price of determinism the docs
+        advertise.
+        """
+        be = self.backend
+        nf, nx, k = mhat.shape
+        ny = self.nd if operation is Operation.N else self.nm
+        out = None
+        if self.workspace is not None:
+            out = self.workspace.checkout(
+                "det_sbgemv_out", (nf, ny, k), be.dtype_of(mhat)
+            )
+        if self.dispatcher is not None or be.name != "numpy":
+            if out is None:
+                out = be.empty((nf, ny, k), be.dtype_of(mhat))
+            for j in range(k):
+                out[:, :, j] = self._run_sbgemv(mhat[:, :, j], operation, precision)
+            return out
+        if out is None:
+            out = be.empty((nf, ny, k), be.dtype_of(mhat))
+        fhat = self.spectrum(precision)
+        cols = np.moveaxis(mhat, 2, 0)  # (k, nf, nx) strided view
+        out_v = np.moveaxis(out, 2, 0)  # (k, nf, ny) strided view
+        if operation is Operation.N:
+            # One GEMV per (column, frequency): (1,nf,ny,nx) @ (k,nf,nx,1).
+            be.matmul(fhat[None], cols[..., None], out=out_v[..., None])
+            return out
+        # Adjoint GEMV per column: conj(conj(x)^T A), conjugated in
+        # place after the write.  The contraction runs as matrix-vector
+        # against the transposed spectrum *view* — same strided gufunc
+        # accumulation as the row-vector form (bitwise-identical, the
+        # coalescing tests assert it), but measurably faster; a
+        # contiguous copy of the transpose would flip numpy into a BLAS
+        # path with a different summation order and break the identity.
+        if self.workspace is not None:
+            x_conj = self.workspace.checkout(
+                "det_sbgemv_conj_x", (k, nf, nx), be.dtype_of(mhat)
+            )
+            be.conjugate(cols, out=x_conj)
+        else:
+            x_conj = be.conjugate(cols)
+        fhat_t = be.transpose(fhat, (0, 2, 1))
+        be.matmul(fhat_t[None], x_conj[..., None], out=out_v[..., None])
+        be.conjugate(out, out=out)
+        return out
+
     # -- the five-phase pipeline -----------------------------------------------
     def _maybe_cast(self, arr: Any, prec: Precision, tag: str) -> Any:
         """Inter-phase cast with the no-op made explicit (and counted).
@@ -451,10 +559,28 @@ class FFTMatvec:
         ``detach=False`` may return an arena buffer (internal callers
         only — it is overwritten by this engine's next apply).
         """
+        ws = self.workspace
+        if ws is None:
+            return self._pipeline_inner(v_in, config, adjoint, out, detach)
+        # Apply boundary: cursors reset, and a second apply interleaving
+        # on this arena raises instead of aliasing checkout slots.
+        ws.begin_apply()
+        try:
+            return self._pipeline_inner(v_in, config, adjoint, out, detach)
+        finally:
+            ws.end_apply()
+
+    def _pipeline_inner(
+        self,
+        v_in: np.ndarray,
+        config: PrecisionConfig,
+        adjoint: bool,
+        out: Optional[np.ndarray],
+        detach: bool,
+    ) -> np.ndarray:
+        """:meth:`_pipeline` body, inside the workspace apply scope."""
         operation = Operation.C if adjoint else Operation.N
         ws = self.workspace
-        if ws is not None:
-            ws.reset()  # apply boundary: every site re-acquires its buffer
 
         # Phase 1: broadcast (trivial single-device) + zero-pad, in the
         # phase's precision (cast fused into the pad kernel's writes).
@@ -535,6 +661,7 @@ class FFTMatvec:
         adjoint: bool,
         out: Optional[np.ndarray] = None,
         detach: bool = True,
+        deterministic: bool = False,
     ) -> np.ndarray:
         """Blocked pipeline: all ``k`` RHS in one pass per phase.
 
@@ -543,18 +670,42 @@ class FFTMatvec:
         ``out`` (float64, (Nt, ny, k)) receives the result in place;
         ``detach=False`` may return an arena buffer (internal callers
         only — it is overwritten by this engine's next apply).
+        ``deterministic`` swaps the Phase-3 GEMM for the per-column
+        batched GEMV (:meth:`_run_sbgemv_panel`), making every column
+        bitwise what the vector pipeline returns for it.
 
         The k columns ride along as an extra inner dimension of the
         "space" axis: pad/FFT/reorder treat ``nx * k`` fused columns (the
         batched kernels are agnostic), and only Phase 3 unflattens them
         into per-frequency (nx, k) panels for the strided-batched GEMM.
         """
+        ws = self.workspace
+        if ws is None:
+            return self._pipeline_block_inner(
+                v_in, config, adjoint, out, detach, deterministic
+            )
+        ws.begin_apply()
+        try:
+            return self._pipeline_block_inner(
+                v_in, config, adjoint, out, detach, deterministic
+            )
+        finally:
+            ws.end_apply()
+
+    def _pipeline_block_inner(
+        self,
+        v_in: np.ndarray,
+        config: PrecisionConfig,
+        adjoint: bool,
+        out: Optional[np.ndarray],
+        detach: bool,
+        deterministic: bool,
+    ) -> np.ndarray:
+        """:meth:`_pipeline_block` body, inside the workspace apply scope."""
         operation = Operation.C if adjoint else Operation.N
         nt, nx, k = v_in.shape
         ny = self.nm if adjoint else self.nd
         ws = self.workspace
-        if ws is not None:
-            ws.reset()  # apply boundary: every site re-acquires its buffer
 
         # Phase 1: one pad kernel over all k vectors (batch = k * space).
         with self._phase_ctx("pad"):
@@ -587,10 +738,14 @@ class FFTMatvec:
             vhat = self._maybe_cast(vhat, config.sbgemv, "cast_sbgemv")
             if self.backend.dtype_of(vhat) != complex_dtype(config.sbgemv):
                 raise ReproError("internal: SBGEMM input precision mismatch")
-            # Phase 3: per-frequency (nx, k) panels through one GEMM.
-            yhat = self._run_sbgemm(
-                vhat.reshape(self.n_freq, nx, k), operation, config.sbgemv
-            )
+            # Phase 3: per-frequency (nx, k) panels through one GEMM —
+            # or k batched GEMVs when the caller needs every column
+            # bitwise-equal to its sequential apply.
+            panel = vhat.reshape(self.n_freq, nx, k)
+            if deterministic:
+                yhat = self._run_sbgemv_panel(panel, operation, config.sbgemv)
+            else:
+                yhat = self._run_sbgemm(panel, operation, config.sbgemv)
             reorder_prec = config.reorder_precision("sbgemv", "ifft")
             yhat = tosi_to_soti(
                 yhat.reshape(self.n_freq, ny * k),
@@ -672,6 +827,7 @@ class FFTMatvec:
         M: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
         out: Optional[np.ndarray] = None,
+        deterministic: bool = False,
     ) -> np.ndarray:
         """Compute ``D = F M`` for a block of ``k`` parameter vectors.
 
@@ -683,14 +839,24 @@ class FFTMatvec:
         k)`` float64) receives the result in place.  ``matvec_count``
         advances by ``k`` (logical operator actions); ``matmat_count``
         by one (pipeline passes).
+
+        ``deterministic=True`` makes "up to rounding" exact: Phase 3
+        runs one GEMV per column instead of the blocked GEMM, so column
+        ``j`` is **bitwise** ``matvec(M[:, :, j])`` — phases 1/2/4/5 are
+        batched either way (elementwise kernels and a row-independent
+        batched FFT preserve per-column bits).  The serving coalescer
+        uses this to batch concurrent tenants without perturbing anyone's
+        answer.
         """
         cfg = PrecisionConfig.parse(config)
         mm = self._check_block(M, self.nm, "parameter")
         k = mm.shape[2]
         out = self._check_out(out, (self.nt, self.nd, k))
         res = self._timed(
-            lambda: self._pipeline_block(mm, cfg, adjoint=False, out=out),
-            f"{cfg}[k={k}]",
+            lambda: self._pipeline_block(
+                mm, cfg, adjoint=False, out=out, deterministic=deterministic
+            ),
+            f"{cfg}[k={k}{', det' if deterministic else ''}]",
         )
         self.matvec_count += k - 1  # _timed already counted one
         self.matmat_count += 1
@@ -701,19 +867,24 @@ class FFTMatvec:
         D: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
         out: Optional[np.ndarray] = None,
+        deterministic: bool = False,
     ) -> np.ndarray:
         """Compute ``M = F* D`` for a block of ``k`` data vectors.
 
         ``D`` is ``(Nt, Nd, k)`` (or ``(Nt*Nd, k)``); result
-        ``(Nt, Nm, k)``.  The blocked counterpart of :meth:`rmatvec`.
+        ``(Nt, Nm, k)``.  The blocked counterpart of :meth:`rmatvec`;
+        ``deterministic=True`` makes column ``j`` bitwise
+        ``rmatvec(D[:, :, j])``, as in :meth:`matmat`.
         """
         cfg = PrecisionConfig.parse(config)
         dd = self._check_block(D, self.nd, "data")
         k = dd.shape[2]
         out = self._check_out(out, (self.nt, self.nm, k))
         res = self._timed(
-            lambda: self._pipeline_block(dd, cfg, adjoint=True, out=out),
-            f"{cfg}[k={k}]",
+            lambda: self._pipeline_block(
+                dd, cfg, adjoint=True, out=out, deterministic=deterministic
+            ),
+            f"{cfg}[k={k}{', det' if deterministic else ''}]",
         )
         self.matvec_count += k - 1
         self.matmat_count += 1

@@ -62,11 +62,14 @@ so the ``eps5 * log2(pc)`` accumulation term of Eq. 6 applies per column
 exactly as in the vector path.  Per-rank compute routes through
 ``FFTMatvec``'s blocked pipeline; a chunk of one column degenerates
 *bitwise* to the vector path, wider chunks match it to rounding (GEMM
-vs GEMV column-accumulation order).
+vs GEMV column-accumulation order) — or *bitwise* for every column with
+``deterministic=True``, which swaps each rank's Phase-3 GEMM for
+per-column batched GEMVs (the serving coalescer's mode).
 """
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -103,6 +106,24 @@ RankSpecs = Union[
     Mapping[Tuple[int, int], Union[GPUSpec, str]],
     Sequence[Sequence[Union[GPUSpec, str]]],
 ]
+
+
+@contextlib.contextmanager
+def _apply_scope(ws: Optional[Workspace]):
+    """Bracket a grid-level apply in the arena's re-entrancy guard.
+
+    No-op without a workspace; otherwise cursors reset and a second
+    apply interleaving on the grid arena raises :class:`ReproError`
+    instead of aliasing staging buffers.
+    """
+    if ws is None:
+        yield
+        return
+    ws.begin_apply()
+    try:
+        yield
+    finally:
+        ws.end_apply()
 
 
 def _normalize_rank_specs(
@@ -334,6 +355,34 @@ class ParallelFFTMatvec:
         """The parameter-axis partition: one ``(start, stop)`` per grid column."""
         return list(self._col_ranges)
 
+    def geometry_key(
+        self, config: Union[None, str, PrecisionConfig] = None
+    ) -> Tuple:
+        """Stable, hashable fingerprint of the distributed geometry.
+
+        Extends :meth:`FFTMatvec.geometry_key` with the grid extents:
+        process-grid shape and the exact row/column partitions (two
+        engines with equal keys run identical per-rank shapes and
+        collectives).  ``config`` folds a precision configuration in,
+        as on the single-device engine.
+        """
+        specs = tuple(
+            (rc, s.name if s is not None else None)
+            for rc, s in sorted(self.rank_specs.items())
+        )
+        return (
+            "ParallelFFTMatvec",
+            self.nt,
+            self.nd,
+            self.nm,
+            self.backend.name,
+            (self.grid.pr, self.grid.pc),
+            tuple(self._row_ranges),
+            tuple(self._col_ranges),
+            specs,
+            str(PrecisionConfig.parse(config)) if config is not None else None,
+        )
+
     # -- measurement hooks ---------------------------------------------------
     def rank_compute_report(self) -> Dict[Tuple[int, int], float]:
         """Per-rank compute seconds harvested from the private clocks.
@@ -495,44 +544,44 @@ class ParallelFFTMatvec:
         cfg = PrecisionConfig.parse(config)
         mm = self.matrix.check_input(m).astype(np.float64, copy=False)
         before = self._snapshot()
-        if self.workspace is not None:
-            self.workspace.reset()
+        with _apply_scope(self.workspace):
+            # Phase 1 communication: broadcast each column's parameter
+            # block down its pr ranks, in Phase 1's precision (comm
+            # volume follows).
+            col_blocks: Dict[int, np.ndarray] = {}
+            for c in range(self.grid.pc):
+                c0, c1 = self._col_ranges[c]
+                payload = self._stage_payload(mm[:, c0:c1], cfg.pad, f"pay/c{c}")
+                copies = self._timed_col(c).bcast(
+                    payload, root=0, phase="pad", workspace=self.workspace,
+                    tag=f"recv/c{c}", backend=self.backend,
+                )
+                col_blocks[c] = self._as_input64(copies[0], f"in64/c{c}")
 
-        # Phase 1 communication: broadcast each column's parameter block
-        # down its pr ranks, in Phase 1's precision (comm volume follows).
-        col_blocks: Dict[int, np.ndarray] = {}
-        for c in range(self.grid.pc):
-            c0, c1 = self._col_ranges[c]
-            payload = self._stage_payload(mm[:, c0:c1], cfg.pad, f"pay/c{c}")
-            copies = self._timed_col(c).bcast(
-                payload, root=0, phase="pad", workspace=self.workspace,
-                tag=f"recv/c{c}", backend=self.backend,
+            # Local five-phase pipelines on every rank; wall = max over
+            # ranks.
+            partials, compute = self._rank_compute(
+                lambda r, c, engine: engine._pipeline(
+                    col_blocks[c], cfg, adjoint=False, detach=False
+                )
             )
-            col_blocks[c] = self._as_input64(copies[0], f"in64/c{c}")
+            self._charge_compute(compute)
 
-        # Local five-phase pipelines on every rank; wall = max over ranks.
-        partials, compute = self._rank_compute(
-            lambda r, c, engine: engine._pipeline(
-                col_blocks[c], cfg, adjoint=False, detach=False
-            )
-        )
-        self._charge_compute(compute)
-
-        # Phase 5 communication: tree-reduce each row's partial data
-        # block over its pc ranks in Phase 5's precision.  The gather
-        # target is fully overwritten, one row range at a time.
-        out = np.empty((self.nt, self.nd))
-        for r in range(self.grid.pr):
-            r0, r1 = self._row_ranges[r]
-            contribs = [
-                self.backend.cast(partials[(r, c)], cfg.unpad)
-                for c in range(self.grid.pc)
-            ]
-            reduced = self._timed_row(r).reduce(
-                contribs, root=0, precision=cfg.unpad, phase="unpad",
-                backend=self.backend,
-            )
-            out[:, r0:r1] = self.backend.from_device(reduced)
+            # Phase 5 communication: tree-reduce each row's partial data
+            # block over its pc ranks in Phase 5's precision.  The gather
+            # target is fully overwritten, one row range at a time.
+            out = np.empty((self.nt, self.nd))
+            for r in range(self.grid.pr):
+                r0, r1 = self._row_ranges[r]
+                contribs = [
+                    self.backend.cast(partials[(r, c)], cfg.unpad)
+                    for c in range(self.grid.pc)
+                ]
+                reduced = self._timed_row(r).reduce(
+                    contribs, root=0, precision=cfg.unpad, phase="unpad",
+                    backend=self.backend,
+                )
+                out[:, r0:r1] = self.backend.from_device(reduced)
 
         self._record(before, f"{cfg} F ({self.grid.pr}x{self.grid.pc})")
         self.matvec_count += 1
@@ -546,40 +595,39 @@ class ParallelFFTMatvec:
         cfg = PrecisionConfig.parse(config)
         dd = self.matrix.check_output(d).astype(np.float64, copy=False)
         before = self._snapshot()
-        if self.workspace is not None:
-            self.workspace.reset()
+        with _apply_scope(self.workspace):
+            # Phase 1: broadcast each row's data block across pc ranks.
+            row_blocks: Dict[int, np.ndarray] = {}
+            for r in range(self.grid.pr):
+                r0, r1 = self._row_ranges[r]
+                payload = self._stage_payload(dd[:, r0:r1], cfg.pad, f"pay/r{r}")
+                copies = self._timed_row(r).bcast(
+                    payload, root=0, phase="pad", workspace=self.workspace,
+                    tag=f"recv/r{r}", backend=self.backend,
+                )
+                row_blocks[r] = self._as_input64(copies[0], f"in64/r{r}")
 
-        # Phase 1: broadcast each row's data block across its pc ranks.
-        row_blocks: Dict[int, np.ndarray] = {}
-        for r in range(self.grid.pr):
-            r0, r1 = self._row_ranges[r]
-            payload = self._stage_payload(dd[:, r0:r1], cfg.pad, f"pay/r{r}")
-            copies = self._timed_row(r).bcast(
-                payload, root=0, phase="pad", workspace=self.workspace,
-                tag=f"recv/r{r}", backend=self.backend,
+            partials, compute = self._rank_compute(
+                lambda r, c, engine: engine._pipeline(
+                    row_blocks[r], cfg, adjoint=True, detach=False
+                )
             )
-            row_blocks[r] = self._as_input64(copies[0], f"in64/r{r}")
+            self._charge_compute(compute)
 
-        partials, compute = self._rank_compute(
-            lambda r, c, engine: engine._pipeline(
-                row_blocks[r], cfg, adjoint=True, detach=False
-            )
-        )
-        self._charge_compute(compute)
-
-        # Phase 5: reduce each column's partial parameter block over pr.
-        out = np.empty((self.nt, self.nm))
-        for c in range(self.grid.pc):
-            c0, c1 = self._col_ranges[c]
-            contribs = [
-                self.backend.cast(partials[(r, c)], cfg.unpad)
-                for r in range(self.grid.pr)
-            ]
-            reduced = self._timed_col(c).reduce(
-                contribs, root=0, precision=cfg.unpad, phase="unpad",
-                backend=self.backend,
-            )
-            out[:, c0:c1] = self.backend.from_device(reduced)
+            # Phase 5: reduce each column's partial parameter block over
+            # pr ranks.
+            out = np.empty((self.nt, self.nm))
+            for c in range(self.grid.pc):
+                c0, c1 = self._col_ranges[c]
+                contribs = [
+                    self.backend.cast(partials[(r, c)], cfg.unpad)
+                    for r in range(self.grid.pr)
+                ]
+                reduced = self._timed_col(c).reduce(
+                    contribs, root=0, precision=cfg.unpad, phase="unpad",
+                    backend=self.backend,
+                )
+                out[:, c0:c1] = self.backend.from_device(reduced)
 
         self._record(before, f"{cfg} F* ({self.grid.pr}x{self.grid.pc})")
         self.matvec_count += 1
@@ -642,16 +690,19 @@ class ParallelFFTMatvec:
         cfg: PrecisionConfig,
         adjoint: bool,
         stream: Optional[Stream],
+        deterministic: bool = False,
     ) -> Dict[Tuple[int, int], np.ndarray]:
         """Per-rank blocked pipelines for one chunk: one pad / batched FFT
         / SBGEMM / IFFT / unpad pass on every rank; the max-rank time is
-        charged onto ``stream`` (or the grid clock)."""
+        charged onto ``stream`` (or the grid clock).  ``deterministic``
+        selects each rank's per-column-GEMV Phase 3."""
         partials, compute = self._rank_compute(
             lambda r, c, engine: engine._pipeline_block(
                 in_blocks[r if adjoint else c],
                 cfg,
                 adjoint=adjoint,
                 detach=False,
+                deterministic=deterministic,
             )
         )
         self._charge_compute(compute, stream=stream)
@@ -701,6 +752,7 @@ class ParallelFFTMatvec:
         ranges: List[Tuple[int, int]],
         cfg: PrecisionConfig,
         adjoint: bool,
+        deterministic: bool = False,
     ) -> None:
         """Serial charge: broadcast → compute → reduce per chunk, in
         program order on the grid clock (the pre-timeline model)."""
@@ -709,7 +761,9 @@ class ParallelFFTMatvec:
             in_blocks, _ = self._chunk_bcast(
                 chunk, cfg, adjoint, stream=None, slot=i % 2
             )
-            partials = self._chunk_compute(in_blocks, cfg, adjoint, stream=None)
+            partials = self._chunk_compute(
+                in_blocks, cfg, adjoint, stream=None, deterministic=deterministic
+            )
             self._chunk_reduce(
                 partials, out[:, :, j0:j1], cfg, adjoint, stream=None
             )
@@ -721,6 +775,7 @@ class ParallelFFTMatvec:
         ranges: List[Tuple[int, int]],
         cfg: PrecisionConfig,
         adjoint: bool,
+        deterministic: bool = False,
     ) -> None:
         """Double-buffered chunk schedule on the event timeline.
 
@@ -747,7 +802,9 @@ class ParallelFFTMatvec:
                 # Imperfect overlap: the previous chunk's reduce steals
                 # link/engine bandwidth from this chunk's compute.
                 comp_s.charge(reduce_tax, phase="unpad")
-            partials = self._chunk_compute(in_blocks, cfg, adjoint, stream=comp_s)
+            partials = self._chunk_compute(
+                in_blocks, cfg, adjoint, stream=comp_s, deterministic=deterministic
+            )
             if i + 1 < len(ranges):
                 n0, n1 = ranges[i + 1]
                 # Prefetch into the other ping-pong slot: chunk i's
@@ -780,6 +837,7 @@ class ParallelFFTMatvec:
         adjoint: bool,
         overlap: Optional[bool],
         out: Optional[np.ndarray] = None,
+        deterministic: bool = False,
     ) -> np.ndarray:
         cfg = PrecisionConfig.parse(config)
         nx = self.nd if adjoint else self.nm
@@ -795,20 +853,24 @@ class ParallelFFTMatvec:
         before = self._snapshot()
         t_start = self.grid.clock.now
         ny = self.nm if adjoint else self.nd
-        if self.workspace is not None:
-            self.workspace.reset()
         out = check_out_buffer(out, (self.nt, ny, k))
         if out is None:
             out = np.empty((self.nt, ny, k))
-        if use_overlap:
-            self._matmat_overlapped(VV, out, ranges, cfg, adjoint)
-        else:
-            self._matmat_serial(VV, out, ranges, cfg, adjoint)
+        with _apply_scope(self.workspace):
+            if use_overlap:
+                self._matmat_overlapped(
+                    VV, out, ranges, cfg, adjoint, deterministic=deterministic
+                )
+            else:
+                self._matmat_serial(
+                    VV, out, ranges, cfg, adjoint, deterministic=deterministic
+                )
         name = "F*" if adjoint else "F"
         sched = "overlap" if use_overlap else "serial"
         self._record(
             before,
-            f"{cfg} {name}[k={k}/{len(ranges)} chunk(s), {sched}] "
+            f"{cfg} {name}[k={k}/{len(ranges)} chunk(s), {sched}"
+            f"{', det' if deterministic else ''}] "
             f"({self.grid.pr}x{self.grid.pc})",
             wall=self.grid.clock.now - t_start,
         )
@@ -823,6 +885,7 @@ class ParallelFFTMatvec:
         max_block_k: Optional[int] = None,
         overlap: Optional[bool] = None,
         out: Optional[np.ndarray] = None,
+        deterministic: bool = False,
     ) -> np.ndarray:
         """Compute ``D = F M`` for k parameter vectors across the grid.
 
@@ -840,10 +903,15 @@ class ParallelFFTMatvec:
         path, ``last_timing.phases`` the work charged per phase.
         ``out`` (``(Nt, Nd, k)`` float64, C-contiguous) receives the
         result in place — with ``workspace=True`` repeated applies are
-        allocation-free at steady state.
+        allocation-free at steady state.  ``deterministic=True`` runs
+        every rank's Phase 3 as per-column GEMVs so column ``j`` is
+        **bitwise** ``matvec(M[:, :, j])`` (see
+        :meth:`FFTMatvec.matmat`); the elementwise tree-reduce already
+        preserves per-column bits, so the guarantee survives the grid.
         """
         return self._matmat_impl(
-            M, config, max_block_k, adjoint=False, overlap=overlap, out=out
+            M, config, max_block_k, adjoint=False, overlap=overlap, out=out,
+            deterministic=deterministic,
         )
 
     def rmatmat(
@@ -853,13 +921,16 @@ class ParallelFFTMatvec:
         max_block_k: Optional[int] = None,
         overlap: Optional[bool] = None,
         out: Optional[np.ndarray] = None,
+        deterministic: bool = False,
     ) -> np.ndarray:
         """Compute ``M = F* D`` for k data vectors across the grid.
 
         The blocked adjoint: one row-broadcast and one column-reduce per
         chunk (the column reduce crosses machine groups, so hiding its
-        latency behind compute matters most).  See :meth:`matmat`.
+        latency behind compute matters most).  See :meth:`matmat`,
+        including the ``deterministic`` bitwise guarantee.
         """
         return self._matmat_impl(
-            D, config, max_block_k, adjoint=True, overlap=overlap, out=out
+            D, config, max_block_k, adjoint=True, overlap=overlap, out=out,
+            deterministic=deterministic,
         )

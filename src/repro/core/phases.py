@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.backend import Backend, NumpyBackend
+from repro.core.reorder import transpose_into
 from repro.gpu.bandwidth import stream_efficiency
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
@@ -90,9 +91,9 @@ def pad_to_soti(
         if fresh:
             out[:, nt:] = 0.0
     # Transpose+cast in one logical kernel: each output row is one
-    # spatial point's time series followed by Nt zeros (the assignment
+    # spatial point's time series followed by Nt zeros (the tiled copy
     # casts on the write side — no staging temporary).
-    out[:, :nt] = be.transpose(a)
+    transpose_into(out[:, :nt], a, be)
     _charge(
         device,
         "pad_zero",
@@ -136,10 +137,10 @@ def unpad_from_soti(
                 f"unpad out buffer must be {(nt, a.shape[0])} {dt}, "
                 f"got {tuple(out.shape)} {be.dtype_of(out)}"
             )
-        out[...] = be.transpose(a[:, :nt])
+        transpose_into(out, a[:, :nt], be)
     elif workspace is not None:
         out = workspace.checkout(phase, (nt, a.shape[0]), dt)
-        out[...] = be.transpose(a[:, :nt])
+        transpose_into(out, a[:, :nt], be)
     else:
         out = be.astype(be.ascontiguous(be.transpose(a[:, :nt])), dt, copy=False)
     _charge(

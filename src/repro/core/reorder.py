@@ -33,9 +33,40 @@ from repro.util.dtypes import Precision, complex_dtype, real_dtype
 from repro.util.validation import ReproError
 from repro.util.workspace import Workspace
 
-__all__ = ["tosi_to_soti", "soti_to_tosi", "reorder_bytes"]
+__all__ = ["tosi_to_soti", "soti_to_tosi", "reorder_bytes", "transpose_into"]
 
 _NUMPY = NumpyBackend()
+
+# Column-block width for tiled transposes.  Wide blocked vectors (the
+# matmat/rmatmat paths fold k request columns into the space axis) make
+# a single strided transpose assignment walk far outside the cache; a
+# tiled copy of ~block columns at a time keeps the working set resident
+# and is several times faster, moving exactly the same bytes.
+_TRANSPOSE_BLOCK = 256
+
+
+def transpose_into(out: Any, a: Any, backend: Optional[Backend] = None) -> Any:
+    """``out[...] = a.T`` as a cache-tiled copy (bitwise the same bytes).
+
+    ``a`` is 2-D ``(r, c)``; ``out`` is ``(c, r)`` and may carry a
+    different dtype — the cast happens on the write side of each tile,
+    exactly as the untiled assignment would round it.  Small operands
+    take the single-assignment path; the tiling only matters once the
+    operand spills the cache.
+    """
+    be = backend if backend is not None else _NUMPY
+    rows, cols = a.shape[0], a.shape[1]
+    if rows <= 4 * _TRANSPOSE_BLOCK and cols <= 4 * _TRANSPOSE_BLOCK:
+        out[...] = be.transpose(a)
+    elif rows >= cols:
+        for i0 in range(0, rows, _TRANSPOSE_BLOCK):
+            hi = i0 + _TRANSPOSE_BLOCK
+            out[:, i0:hi] = be.transpose(a[i0:hi])
+    else:
+        for i0 in range(0, cols, _TRANSPOSE_BLOCK):
+            hi = i0 + _TRANSPOSE_BLOCK
+            out[i0:hi] = be.transpose(a[:, i0:hi])
+    return out
 
 
 def reorder_bytes(arr_shape, in_itemsize: int, out_itemsize: int) -> float:
@@ -95,7 +126,7 @@ def _reorder(
                 else real_dtype(precision)
             )
         out = workspace.checkout(tag, (a.shape[1], a.shape[0]), dt)
-        out[...] = be.transpose(a)  # fused transpose + cast on the write side
+        transpose_into(out, a, be)  # fused transpose + cast on the write side
     else:
         out = be.ascontiguous(be.transpose(a))
         if precision is not None:

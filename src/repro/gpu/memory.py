@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.gpu.specs import GPUSpec
 from repro.util.validation import ReproError
@@ -36,14 +36,21 @@ class DeviceAllocator:
 
     Alignment follows real allocators: requests are rounded up to
     ``alignment`` bytes (256 by default, matching hipMalloc granularity).
+    ``capacity`` overrides the spec's HBM size — the serving-layer
+    :class:`~repro.serve.cache.EngineCache` uses this to enforce a byte
+    budget smaller than (or independent of) any one device.
     """
 
-    def __init__(self, spec: GPUSpec, alignment: int = 256) -> None:
+    def __init__(
+        self, spec: GPUSpec, alignment: int = 256, capacity: Optional[int] = None
+    ) -> None:
         if alignment <= 0 or (alignment & (alignment - 1)) != 0:
             raise ReproError(f"alignment must be a positive power of two, got {alignment}")
         self.spec = spec
         self.alignment = alignment
-        self._capacity = int(spec.memory_bytes)
+        self._capacity = int(spec.memory_bytes if capacity is None else capacity)
+        if self._capacity <= 0:
+            raise ReproError(f"capacity must be positive, got {self._capacity}")
         self._live: Dict[int, Allocation] = {}
         self._in_use = 0
         self._peak = 0

@@ -125,7 +125,8 @@ class BlockCGResult:
 
 def _col_dots(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Per-column inner products over all leading axes: (..., k) -> (k,)."""
-    return np.sum(a * b, axis=tuple(range(a.ndim - 1)))
+    k = a.shape[-1]
+    return np.einsum("ij,ij->j", a.reshape(-1, k), b.reshape(-1, k))
 
 
 def block_conjugate_gradient(
@@ -176,6 +177,10 @@ def block_conjugate_gradient(
         )
     P[..., converged] = 0.0
 
+    # One scratch block keeps the per-iteration linear algebra
+    # allocation-free: for wide blocks the vector updates otherwise cost
+    # a noticeable fraction of the shared operator action they amortize.
+    scratch = np.empty_like(B)
     for it in range(1, maxiter + 1):
         # Frozen columns keep a zero search direction, so the shared
         # operator action does no stale work on their behalf.
@@ -189,8 +194,10 @@ def block_conjugate_gradient(
                 f"{it}; the operator is not SPD"
             )
         alpha = np.where(active, rs / np.where(active, curvature, 1.0), 0.0)
-        X = X + alpha * P
-        R = R - alpha * AP
+        np.multiply(P, alpha, out=scratch)
+        X += scratch
+        np.multiply(AP, alpha, out=scratch)
+        R -= scratch
         rs_new = _col_dots(R, R)
         norms.append(np.where(active, np.sqrt(rs_new), norms[-1]))
         if callback is not None:
@@ -204,7 +211,11 @@ def block_conjugate_gradient(
         beta = np.where(
             ~converged, rs_new / np.where(rs > 0, rs, 1.0), 0.0
         )
-        P = np.where(~converged, R + beta * P, 0.0)
+        # P <- R + beta*P for active columns, zero for frozen ones
+        # (beta is already zero there; only the += R needs undoing).
+        np.multiply(P, beta, out=P)
+        P += R
+        P[..., converged] = 0.0
         rs = rs_new
 
     return BlockCGResult(

@@ -1,0 +1,308 @@
+"""Byte-budgeted LRU cache of solver engines for the serving layer.
+
+A long-lived solver service sees many distinct operators — different
+tenants' problems, different geometries — but only a bounded slice of
+device memory to keep them resident.  Each cached engine is expensive in
+exactly the ways the repo already models: the precomputed spectrum
+``F_hat`` (per cached precision), the FFT-plan dictionary, and the
+workspace arena the allocation-free pipeline writes into.  This module
+provides:
+
+* :func:`operator_fingerprint` — a stable content+geometry digest of a
+  :class:`~repro.core.toeplitz.BlockTriangularToeplitz`, the key the
+  coalescer groups requests under (engines with equal fingerprints
+  compute identical answers, so their requests may share a blocked
+  pipeline pass);
+* :func:`engine_footprint` — the modeled resident bytes of a built
+  engine (spectrum copies + arenas, grid-wide for the parallel engine);
+* :class:`EngineCache` — an LRU of built engines charged against a
+  :class:`~repro.gpu.memory.DeviceAllocator` constructed with a
+  ``capacity`` equal to the byte budget.  Admission *allocates* the
+  engine's footprint; when the allocator refuses, least-recently-used
+  entries are evicted (arenas released, registration freed) until the
+  new engine fits.  The allocator enforces the budget by construction —
+  ``in_use`` can never exceed it — and ``peak`` records the high-water
+  mark the service actually reached.
+
+The cache is deliberately synchronous and unlocked: the service runs
+all engine work on one executor thread, which is also what keeps each
+engine's workspace arena single-writer (see
+:meth:`repro.util.workspace.Workspace.begin_apply`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.matvec import FFTMatvec
+from repro.core.parallel import ParallelFFTMatvec
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.gpu.memory import Allocation, DeviceAllocator, OutOfMemoryError
+from repro.gpu.specs import GPUSpec, get_gpu
+from repro.util.validation import ReproError
+
+__all__ = [
+    "operator_fingerprint",
+    "engine_footprint",
+    "CacheStats",
+    "EngineCache",
+]
+
+Engine = Union[FFTMatvec, ParallelFFTMatvec]
+
+
+def operator_fingerprint(
+    matrix: Union[BlockTriangularToeplitz, np.ndarray],
+    extra: Tuple = (),
+) -> str:
+    """Stable hex digest of an operator's kernel content and geometry.
+
+    Hashes the block-Toeplitz kernel's shape and bytes (SHA-1, first 16
+    hex chars) plus any ``extra`` geometry the caller wants folded in
+    (e.g. an engine :meth:`~repro.core.matvec.FFTMatvec.geometry_key`).
+    Two operators with equal fingerprints produce bitwise-equal engine
+    results, which is what licenses the coalescer to batch their
+    requests together.
+    """
+    mat = (
+        matrix
+        if isinstance(matrix, BlockTriangularToeplitz)
+        else BlockTriangularToeplitz(np.asarray(matrix))
+    )
+    blocks = np.ascontiguousarray(mat.blocks, dtype=np.float64)
+    h = hashlib.sha1()
+    h.update(repr(blocks.shape).encode())
+    h.update(blocks.tobytes())
+    if extra:
+        h.update(repr(tuple(extra)).encode())
+    return h.hexdigest()[:16]
+
+
+def _single_engine_bytes(engine: FFTMatvec) -> int:
+    """Resident bytes of one single-device engine (spectra + arena)."""
+    be = engine.backend
+    total = int(engine._fhat_host.nbytes)
+    for cached in engine._fhat.values():
+        total += int(be.nbytes(cached))
+    for cached in engine._fhat_conj.values():
+        total += int(be.nbytes(cached))
+    if engine.workspace is not None:
+        total += int(engine.workspace.nbytes)
+    return total
+
+
+def engine_footprint(engine: Engine) -> int:
+    """Modeled resident bytes of a built engine.
+
+    Counts what eviction would actually reclaim: the host spectrum, the
+    per-precision backend spectrum copies (plain and conjugated), and
+    the workspace arena(s).  For :class:`ParallelFFTMatvec` this sums
+    every rank engine plus the grid-level staging arena — the cache
+    budget covers the whole simulated machine's share, matching
+    :meth:`~repro.core.parallel.ParallelFFTMatvec.workspace_report`.
+    """
+    if isinstance(engine, ParallelFFTMatvec):
+        total = sum(_single_engine_bytes(e) for e in engine.engines.values())
+        if engine.workspace is not None:
+            total += int(engine.workspace.nbytes)
+        return total
+    return _single_engine_bytes(engine)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters (see :meth:`EngineCache.stats`)."""
+
+    entries: int  # engines currently resident
+    hits: int  # get() calls served from the cache
+    misses: int  # get() calls that built an engine
+    evictions: int  # engines dropped (LRU pressure or explicit)
+    budget_bytes: int  # the configured byte budget (allocator capacity)
+    in_use_bytes: int  # bytes currently charged against the budget
+    peak_bytes: int  # high-water mark of in_use_bytes
+
+
+@dataclass
+class _CacheEntry:
+    """A resident engine plus its budget registration."""
+
+    engine: Engine
+    alloc: Allocation
+    footprint: int  # unrounded bytes (alloc.nbytes is alignment-rounded)
+
+
+class EngineCache:
+    """LRU engine cache under a :class:`DeviceAllocator` byte budget.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total resident bytes allowed across all cached engines.  The
+        budget is enforced by a private allocator constructed with this
+        ``capacity`` — admission that would exceed it either evicts
+        least-recently-used engines until it fits or raises
+        :class:`~repro.gpu.memory.OutOfMemoryError` (one engine larger
+        than the whole budget cannot be admitted at all).
+    spec:
+        GPU spec (name or :class:`~repro.gpu.specs.GPUSpec`) the budget
+        allocator reports under; purely cosmetic for accounting.
+    alignment:
+        Allocator rounding granularity (bytes).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        spec: Union[str, GPUSpec] = "MI250X",
+        alignment: int = 256,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ReproError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        gspec = get_gpu(spec) if isinstance(spec, str) else spec
+        self.allocator = DeviceAllocator(
+            gspec, alignment=alignment, capacity=self.budget_bytes
+        )
+        self._entries: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- admission / lookup ---------------------------------------------------
+    def get(
+        self, key: str, builder: Optional[Callable[[], Engine]] = None
+    ) -> Engine:
+        """Return the engine for ``key``, building it on a miss.
+
+        A hit refreshes the entry's LRU position.  A miss calls
+        ``builder()`` (raising :class:`ReproError` when none is given),
+        measures the new engine's footprint and charges it against the
+        budget, evicting least-recently-used entries as needed.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.engine
+        if builder is None:
+            raise ReproError(f"engine {key!r} is not cached and no builder given")
+        self.misses += 1
+        engine = builder()
+        footprint = engine_footprint(engine)
+        alloc = self._reserve(footprint, tag=f"engine/{key}")
+        self._entries[key] = _CacheEntry(engine, alloc, footprint)
+        return engine
+
+    def update_footprint(self, key: str) -> int:
+        """Re-measure an entry's footprint and true-up its budget charge.
+
+        Engines grow lazily (precision spectrum copies on first use,
+        arena buffers on the first apply of a new shape), so the service
+        calls this after every flush.  Growth that no longer fits evicts
+        LRU peers; if the engine alone exceeds the whole budget it is
+        dropped and :class:`OutOfMemoryError` propagates.  Returns the
+        new footprint in bytes.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            raise ReproError(f"engine {key!r} is not cached")
+        footprint = engine_footprint(entry.engine)
+        if footprint == entry.footprint:
+            return footprint
+        # Delist before releasing the old charge: the eviction loop
+        # inside _reserve walks the LRU and must not see (and free a
+        # second time) the very entry being re-measured.
+        del self._entries[key]
+        self.allocator.free(entry.alloc)
+        try:
+            entry.alloc = self._reserve(footprint, tag=f"engine/{key}")
+        except OutOfMemoryError:
+            self._release_engine(entry.engine)
+            self.evictions += 1
+            raise
+        entry.footprint = footprint
+        self._entries[key] = entry  # re-admitted as most-recently used
+        return footprint
+
+    def _reserve(self, nbytes: int, tag: str) -> Allocation:
+        """Charge ``nbytes`` against the budget, evicting LRU to fit."""
+        while True:
+            try:
+                return self.allocator.malloc(nbytes, tag=tag)
+            except OutOfMemoryError:
+                if self.evict_lru() is None:
+                    raise
+
+    # -- eviction -------------------------------------------------------------
+    @staticmethod
+    def _release_engine(engine: Engine) -> None:
+        """Free an evicted engine's arenas so the bytes really return."""
+        if isinstance(engine, ParallelFFTMatvec):
+            for rank_engine in engine.engines.values():
+                if rank_engine.workspace is not None:
+                    rank_engine.workspace.release()
+            if engine.workspace is not None:
+                engine.workspace.release()
+        elif engine.workspace is not None:
+            engine.workspace.release()
+
+    def evict_lru(self) -> Optional[str]:
+        """Evict the least-recently-used engine; returns its key (or
+        None when the cache is already empty)."""
+        if not self._entries:
+            return None
+        key, entry = self._entries.popitem(last=False)
+        self.allocator.free(entry.alloc)
+        self._release_engine(entry.engine)
+        self.evictions += 1
+        return key
+
+    def evict(self, key: str) -> None:
+        """Evict a specific engine (no-op when absent)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self.allocator.free(entry.alloc)
+        self._release_engine(entry.engine)
+        self.evictions += 1
+
+    def clear(self) -> None:
+        """Evict everything (budget returns to fully free)."""
+        while self.evict_lru() is not None:
+            pass
+
+    # -- introspection --------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        """Membership test without touching LRU order."""
+        return key in self._entries
+
+    def __len__(self) -> int:
+        """Number of resident engines."""
+        return len(self._entries)
+
+    def keys(self) -> Tuple[str, ...]:
+        """Resident keys, least- to most-recently used."""
+        return tuple(self._entries.keys())
+
+    def stats(self) -> CacheStats:
+        """Snapshot of hit/miss/eviction counters and budget usage."""
+        return CacheStats(
+            entries=len(self._entries),
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            budget_bytes=self.budget_bytes,
+            in_use_bytes=self.allocator.in_use,
+            peak_bytes=self.allocator.peak,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EngineCache(entries={len(self._entries)}, "
+            f"in_use={self.allocator.in_use}/{self.budget_bytes} B)"
+        )

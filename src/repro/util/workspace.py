@@ -33,6 +33,14 @@ device allocation, so the allocator's ``peak`` reflects the modeled
 device footprint of the persistent workspace — a first-class report
 field for capacity planning.  :meth:`Workspace.release` frees the
 registrations (and drops the buffers), letting leak checks pass.
+
+The checkout discipline assumes **one apply at a time**: two pipelines
+interleaving checkouts on a shared arena would silently hand the same
+buffer to both (the slot cursor cannot tell the callers apart).  The
+engines therefore bracket every apply with :meth:`Workspace.begin_apply`
+/ :meth:`Workspace.end_apply`, which raise :class:`ReproError` on
+re-entrant use instead of corrupting results — the serving layer relies
+on this plus per-engine arenas to keep concurrent tenants safe.
 """
 
 from __future__ import annotations
@@ -99,6 +107,8 @@ class Workspace:
         self.alloc_count = 0
         self.checkout_count = 0
         self.resets = 0
+        self.apply_epoch = 0
+        self._in_use = False
         self._released = False
 
     # -- keying / growth -----------------------------------------------------
@@ -164,6 +174,39 @@ class Workspace:
             self._cursors.clear()
         self.resets += 1
 
+    # -- apply-scope guard ----------------------------------------------------
+    @property
+    def in_use(self) -> bool:
+        """True while an apply bracketed by :meth:`begin_apply` is live."""
+        return self._in_use
+
+    def begin_apply(self) -> int:
+        """Open an apply scope: reset cursors, refuse re-entrant use.
+
+        Raises :class:`ReproError` if a previous :meth:`begin_apply` has
+        not been closed by :meth:`end_apply` — two interleaved applies on
+        one arena would alias each other's checkout slots and corrupt
+        results silently, so the engines fail loudly instead.  Returns
+        the new ``apply_epoch`` (a monotone counter of apply scopes).
+        """
+        if self._released:
+            raise ReproError(f"workspace {self.name!r} has been released")
+        if self._in_use:
+            raise ReproError(
+                f"workspace {self.name!r} is already mid-apply "
+                f"(epoch {self.apply_epoch}): concurrent applies sharing one "
+                "arena would alias checkout slots — serialize applies or give "
+                "each engine its own workspace"
+            )
+        self._in_use = True
+        self.apply_epoch += 1
+        self.reset()
+        return self.apply_epoch
+
+    def end_apply(self) -> None:
+        """Close the apply scope opened by :meth:`begin_apply`."""
+        self._in_use = False
+
     # -- introspection -------------------------------------------------------
     @property
     def buffer_count(self) -> int:
@@ -207,6 +250,7 @@ class Workspace:
         self._registered_bytes = 0
         self._pools.clear()
         self._cursors.clear()
+        self._in_use = False
         self._released = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

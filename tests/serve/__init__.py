@@ -1,0 +1,1 @@
+"""Tests for the multi-tenant serving layer (repro.serve)."""

@@ -1,0 +1,307 @@
+"""Tests for SolverService request handling, backpressure and fairness."""
+
+import asyncio
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core.matvec import FFTMatvec
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.inverse.cg import conjugate_gradient
+from repro.core.operator import (
+    ForwardOperator,
+    GaussNewtonHessian,
+    IdentityOperator,
+)
+from repro.serve import (
+    EngineCache,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolveOptions,
+    SolverService,
+    TenantThrottledError,
+    UnknownOperatorError,
+)
+from repro.serve.service import _Request
+from repro.util.validation import ReproError
+
+NT, ND, NM = 8, 3, 12
+
+
+def make_matrix(seed=0):
+    rng = np.random.default_rng(seed)
+    return BlockTriangularToeplitz.random(NT, ND, NM, rng=rng)
+
+
+def make_service(**kwargs):
+    cache = EngineCache(kwargs.pop("budget", 64 * 2**20))
+    service = SolverService(cache, **kwargs)
+    handle = service.register(make_matrix())
+    return service, handle
+
+
+class TestRequestBasics:
+    def test_matvec_matches_direct_engine(self):
+        async def main():
+            service, handle = make_service(window=0.0)
+            async with service:
+                m = np.arange(NT * NM, dtype=np.float64).reshape(NT, NM)
+                got = await service.matvec(handle, m)
+                ref = FFTMatvec(make_matrix()).matvec(m)
+                assert np.array_equal(got, ref)
+
+        asyncio.run(main())
+
+    def test_flat_payload_reshaped(self):
+        async def main():
+            service, handle = make_service(window=0.0)
+            async with service:
+                m = np.ones(NT * NM)
+                got = await service.matvec(handle, m)
+                assert got.shape == (NT, ND)
+
+        asyncio.run(main())
+
+    def test_bad_payload_shape_raises(self):
+        async def main():
+            service, handle = make_service()
+            async with service:
+                with pytest.raises(ReproError):
+                    await service.matvec(handle, np.ones((NT, NM + 1)))
+
+        asyncio.run(main())
+
+    def test_unknown_handle_raises(self):
+        async def main():
+            service, _ = make_service()
+            async with service:
+                with pytest.raises(UnknownOperatorError):
+                    await service.matvec("ghost", np.ones((NT, NM)))
+
+        asyncio.run(main())
+
+    def test_register_is_content_addressed(self):
+        service, handle = make_service()
+        again = service.register(make_matrix())
+        assert again == handle  # same kernel -> same handle -> coalescible
+        other = service.register(make_matrix(seed=1))
+        assert other != handle
+
+    def test_solve_matches_solo_cg(self):
+        async def main():
+            service, handle = make_service(window=0.0)
+            async with service:
+                d = np.random.default_rng(3).standard_normal((NT, ND))
+                opts = SolveOptions(tol=1e-10)
+                got = await service.solve(handle, d, options=opts)
+                engine = FFTMatvec(make_matrix())
+                forward = ForwardOperator(engine)
+                hess = GaussNewtonHessian(
+                    forward,
+                    noise_std=opts.noise_std,
+                    reg=opts.ridge * IdentityOperator(forward.in_shape),
+                )
+                rhs = engine.rmatvec(d) / opts.noise_std**2
+                ref = conjugate_gradient(hess.apply, rhs, tol=opts.tol).x
+                np.testing.assert_allclose(got, ref, rtol=1e-8, atol=1e-12)
+
+        asyncio.run(main())
+
+
+class TestLifecycle:
+    def test_closed_service_rejects(self):
+        async def main():
+            service, handle = make_service()
+            await service.close()
+            with pytest.raises(ServiceClosedError):
+                await service.matvec(handle, np.ones((NT, NM)))
+            await service.close()  # idempotent
+
+        asyncio.run(main())
+
+    def test_drain_flushes_pending_window(self):
+        async def main():
+            # A long window would hold the request for 10s; drain must
+            # flush it immediately.
+            service, handle = make_service(window=10.0)
+            task = asyncio.ensure_future(
+                service.matvec(handle, np.ones((NT, NM)))
+            )
+            await asyncio.sleep(0.01)
+            await service.drain()
+            assert task.done()
+            await service.close()
+
+        asyncio.run(main())
+
+
+class TestBackpressure:
+    def test_overload_sheds(self):
+        async def main():
+            service, handle = make_service(window=10.0, max_pending=2)
+            tasks = [
+                asyncio.ensure_future(service.matvec(handle, np.ones((NT, NM))))
+                for _ in range(2)
+            ]
+            await asyncio.sleep(0.01)  # both queued behind the window
+            with pytest.raises(ServiceOverloadedError):
+                await service.matvec(handle, np.ones((NT, NM)))
+            assert service.stats().rejected_overload == 1
+            await service.drain()
+            await asyncio.gather(*tasks)
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_tenant_cap_throttles_only_the_offender(self):
+        async def main():
+            service, handle = make_service(
+                window=10.0, max_inflight_per_tenant=1
+            )
+            hog = asyncio.ensure_future(
+                service.matvec(handle, np.ones((NT, NM)), tenant="hog")
+            )
+            await asyncio.sleep(0.01)
+            with pytest.raises(TenantThrottledError):
+                await service.matvec(handle, np.ones((NT, NM)), tenant="hog")
+            # Another tenant is unaffected by the hog's cap.
+            polite = asyncio.ensure_future(
+                service.matvec(handle, np.ones((NT, NM)), tenant="polite")
+            )
+            await asyncio.sleep(0.01)
+            await service.drain()
+            await asyncio.gather(hog, polite)
+            assert service.stats().rejected_tenant == 1
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_constructor_validation(self):
+        cache = EngineCache(2**20)
+        with pytest.raises(ReproError):
+            SolverService(cache, max_block_k=0)
+        with pytest.raises(ReproError):
+            SolverService(cache, window=-1.0)
+        with pytest.raises(ReproError):
+            SolverService(cache, max_pending=0)
+        with pytest.raises(ReproError):
+            SolverService(cache, tenant_weights={"a": 0.0})
+
+
+class TestCoalescingMechanics:
+    def test_full_group_flushes_as_one_pass(self):
+        async def main():
+            service, handle = make_service(window=10.0, max_block_k=4)
+            async with service:
+                rng = np.random.default_rng(0)
+                payloads = [rng.standard_normal((NT, NM)) for _ in range(4)]
+                await asyncio.gather(
+                    *[service.matvec(handle, p) for p in payloads]
+                )
+            stats = service.stats()
+            assert stats.flushes == 1
+            assert stats.max_batch == 4
+            assert stats.coalesced_requests == 4
+            assert stats.mean_batch == pytest.approx(4.0)
+
+        asyncio.run(main())
+
+    def test_window_flushes_partial_group(self):
+        async def main():
+            service, handle = make_service(window=0.005, max_block_k=16)
+            async with service:
+                await asyncio.gather(
+                    *[
+                        service.matvec(handle, np.ones((NT, NM)))
+                        for _ in range(3)
+                    ]
+                )
+            stats = service.stats()
+            assert stats.completed == 3
+            assert stats.max_batch <= 3
+
+        asyncio.run(main())
+
+    def test_kinds_and_configs_do_not_mix(self):
+        async def main():
+            service, handle = make_service(window=0.005, max_block_k=8)
+            async with service:
+                await asyncio.gather(
+                    service.matvec(handle, np.ones((NT, NM))),
+                    service.rmatvec(handle, np.ones((NT, ND))),
+                    service.matvec(handle, np.ones((NT, NM)), config="sssss"),
+                )
+            # Three incompatible groups -> three engine passes.
+            assert service.stats().flushes == 3
+
+        asyncio.run(main())
+
+
+class TestWeightedFairness:
+    def _requests(self, loop, tenants):
+        reqs = deque()
+        for seq, tenant in enumerate(tenants, start=1):
+            reqs.append(
+                _Request(
+                    tenant=tenant,
+                    payload=np.zeros((NT, NM)),
+                    future=loop.create_future(),
+                    t_submit=0.0,
+                    seq=seq,
+                )
+            )
+        return reqs
+
+    def test_weighted_shares_under_contention(self):
+        async def main():
+            service, _ = make_service(
+                max_block_k=6, tenant_weights={"a": 2.0, "b": 1.0}
+            )
+            loop = asyncio.get_running_loop()
+            group = self._requests(loop, ["a"] * 12 + ["b"] * 12)
+            take = service._select(group)
+            counts = {t: sum(r.tenant == t for r in take) for t in "ab"}
+            # Weight-2 tenant gets twice the columns of weight-1.
+            assert counts == {"a": 4, "b": 2}
+            assert len(group) == 18  # the rest stay queued
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_fifo_within_tenant(self):
+        async def main():
+            service, _ = make_service(max_block_k=3)
+            loop = asyncio.get_running_loop()
+            group = self._requests(loop, ["a"] * 5)
+            take = service._select(group)
+            assert [r.seq for r in take] == [1, 2, 3]
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_no_starvation_round_robin(self):
+        async def main():
+            service, _ = make_service(max_block_k=4)
+            loop = asyncio.get_running_loop()
+            group = self._requests(loop, ["a", "a", "a", "a", "a", "b", "c"])
+            take = service._select(group)
+            tenants = [r.tenant for r in take]
+            # Equal weights: every waiting tenant gets a column before
+            # any tenant gets a second.
+            assert set(tenants[:3]) == {"a", "b", "c"}
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_uncontended_group_taken_whole(self):
+        async def main():
+            service, _ = make_service(max_block_k=8)
+            loop = asyncio.get_running_loop()
+            group = self._requests(loop, ["a", "b", "a"])
+            take = service._select(group)
+            assert [r.seq for r in take] == [1, 2, 3]
+            assert not group
+            await service.close()
+
+        asyncio.run(main())

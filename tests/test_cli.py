@@ -119,3 +119,24 @@ class TestParetoMode:
 
     def test_pareto_invalid_tolerance(self):
         assert main(["--pareto", "-1"]) == 2
+
+
+class TestServeBenchMode:
+    def test_serve_bench_runs_and_prints_table(self, capsys):
+        rc = main(
+            ["--serve-bench", "-Nt", "16", "-nd", "4", "-nm", "24",
+             "--requests", "24", "--rates", "2000", "--tenants", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coalesced" in out and "serve_one" in out
+        assert "bitwise=True" in out
+        assert "within_budget=True" in out
+
+    def test_serve_bench_bad_rates(self, capsys):
+        assert main(["--serve-bench", "--rates", "abc"]) == 2
+        assert main(["--serve-bench", "--rates", "-5"]) == 2
+
+    def test_serve_bench_bad_knobs(self, capsys):
+        assert main(["--serve-bench", "--requests", "0"]) == 2
+        assert main(["--serve-bench", "--budget-mb", "0"]) == 2

@@ -316,3 +316,52 @@ class TestCastNoopCounter:
         before = ref.cast_noop_count
         ref.matmat(rng.standard_normal((NT, NM, K)))
         assert ref.cast_noop_count == before + 3
+
+
+class TestApplyScopeGuard:
+    """The arena refuses interleaved applies instead of corrupting them."""
+
+    def test_begin_apply_reentry_raises(self):
+        ws = Workspace()
+        epoch = ws.begin_apply()
+        assert ws.in_use
+        with pytest.raises(ReproError, match="mid-apply"):
+            ws.begin_apply()
+        ws.end_apply()
+        assert not ws.in_use
+        assert ws.begin_apply() == epoch + 1  # reusable once closed
+        ws.end_apply()
+
+    def test_released_arena_refuses_applies(self):
+        ws = Workspace()
+        ws.release()
+        with pytest.raises(ReproError, match="released"):
+            ws.begin_apply()
+
+    def test_engine_refuses_concurrent_apply_on_one_arena(self, matrix, rng):
+        eng = FFTMatvec(matrix, workspace=True)
+        m = rng.standard_normal((NT, NM))
+        # Simulate an apply already live on this arena (what a second
+        # thread mid-pipeline would look like to the guard).
+        eng.workspace.begin_apply()
+        with pytest.raises(ReproError, match="mid-apply"):
+            eng.matvec(m)
+        eng.workspace.end_apply()
+        # The arena recovers once the scope closes.
+        assert eng.matvec(m).shape == (NT, ND)
+
+    def test_engine_closes_scope_after_each_apply(self, matrix, rng):
+        eng = FFTMatvec(matrix, workspace=True)
+        eng.matvec(rng.standard_normal((NT, NM)))
+        assert not eng.workspace.in_use
+        eng.matmat(rng.standard_normal((NT, NM, 3)))
+        assert not eng.workspace.in_use
+
+    def test_grid_engine_guard_on_rank_arena(self, matrix, rng):
+        eng = ParallelFFTMatvec(matrix, ProcessGrid(2, 2), workspace=True)
+        rank = next(iter(eng.engines.values()))
+        rank.workspace.begin_apply()
+        with pytest.raises(ReproError, match="mid-apply"):
+            eng.matvec(rng.standard_normal((NT, NM)))
+        rank.workspace.end_apply()
+        assert eng.matvec(rng.standard_normal((NT, NM))).shape == (NT, ND)
