@@ -25,7 +25,12 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from repro.backend import Backend, NumpyBackend
-from repro.blas.gemm_kernels import OptimizedSBGEMM, RocblasSBGEMM, SBGEMMKernel
+from repro.blas.gemm_kernels import (
+    OptimizedSBGEMM,
+    PairwiseSBGEMM,
+    RocblasSBGEMM,
+    SBGEMMKernel,
+)
 from repro.blas.gemv_kernels import OptimizedSBGEMV, RocblasSBGEMV, SBGEMVKernel
 from repro.blas.types import BlasDatatype, GemmProblem, GemvProblem, Operation
 from repro.gpu.device import SimulatedDevice
@@ -65,6 +70,7 @@ class SBGEMVDispatcher:
             self.optimized.name: 0,
             self.rocblas_gemm.name: 0,
             self.optimized_gemm.name: 0,
+            PairwiseSBGEMM.name: 0,
         }
 
     # -- transition points ---------------------------------------------------
@@ -211,20 +217,35 @@ class SBGEMVDispatcher:
             staged[key] = int(m_star)
         self._gemm_transition.update(staged)
 
-    def select_gemm(self, problem: GemmProblem) -> SBGEMMKernel:
-        """Pick the SBGEMM kernel for a blocked multi-RHS problem."""
+    def select_gemm(
+        self, problem: GemmProblem, reduction: str = "fast"
+    ) -> SBGEMMKernel:
+        """Pick the SBGEMM kernel for a blocked multi-RHS problem.
+
+        ``reduction="pairwise"`` wraps the selected kernel in
+        :class:`~repro.blas.gemm_kernels.PairwiseSBGEMM` — same launch
+        geometry and dispatch decision, fixed-tree accumulation order,
+        and the wrapper's flat bandwidth tax.
+        """
+        if reduction not in ("fast", "pairwise"):
+            raise ReproError(f"reduction must be 'fast' or 'pairwise', got {reduction!r}")
         if not problem.operation.is_transposed:
-            return self.rocblas_gemm
-        transition = self.gemm_transition_point(
-            problem.datatype, problem.operation, problem.k
-        )
-        if not problem.is_short_wide and problem.m > transition:
-            return self.rocblas_gemm
-        if problem.m <= transition:
-            return self.optimized_gemm
-        t_old = self.rocblas_gemm.modeled_time(problem, self.spec)
-        t_new = self.optimized_gemm.modeled_time(problem, self.spec)
-        return self.optimized_gemm if t_new < t_old else self.rocblas_gemm
+            kernel: SBGEMMKernel = self.rocblas_gemm
+        else:
+            transition = self.gemm_transition_point(
+                problem.datatype, problem.operation, problem.k
+            )
+            if not problem.is_short_wide and problem.m > transition:
+                kernel = self.rocblas_gemm
+            elif problem.m <= transition:
+                kernel = self.optimized_gemm
+            else:
+                t_old = self.rocblas_gemm.modeled_time(problem, self.spec)
+                t_new = self.optimized_gemm.modeled_time(problem, self.spec)
+                kernel = self.optimized_gemm if t_new < t_old else self.rocblas_gemm
+        if reduction == "pairwise":
+            return PairwiseSBGEMM(kernel)
+        return kernel
 
     def gemm_strided_batched(
         self,
@@ -236,6 +257,7 @@ class SBGEMVDispatcher:
         out: Optional[Any] = None,
         a_conj: Optional[Any] = None,
         backend: Optional[Backend] = None,
+        reduction: str = "fast",
     ) -> Any:
         """rocBLAS entry point for the blocked path: dispatch and run.
 
@@ -245,6 +267,13 @@ class SBGEMVDispatcher:
         interchangeable.  ``out`` (shape (batch, out_rows, k)) receives
         the panel in place; ``a_conj`` is a cached conjugate of ``A`` for
         op C callers.
+
+        ``reduction="pairwise"`` selects the fixed-tree accumulation
+        order (:class:`~repro.blas.gemm_kernels.PairwiseSBGEMM`).  The
+        ``k == 1`` GEMV degeneration is *skipped* in that mode: a lone
+        column must accumulate through the identical tree it would see
+        inside a wide panel, which is what makes blocked == looped exact
+        rather than to-rounding.
         """
         be = backend if backend is not None else _NUMPY
         A = be.asarray(A)
@@ -252,7 +281,7 @@ class SBGEMVDispatcher:
         op = Operation.parse(operation)
         if B.ndim != 3:
             raise ReproError(f"B must be (batch, in_rows, k), got shape {tuple(B.shape)}")
-        if B.shape[2] == 1:
+        if B.shape[2] == 1 and reduction == "fast":
             y = self.gemv_strided_batched(
                 A,
                 B[:, :, 0],
@@ -271,7 +300,7 @@ class SBGEMVDispatcher:
             datatype=BlasDatatype.from_dtype(be.dtype_of(A)),
             operation=op,
         )
-        kernel = self.select_gemm(problem)
+        kernel = self.select_gemm(problem, reduction=reduction)
         self.dispatch_counts[kernel.name] += 1
         return kernel.run(
             A, B, problem, device=device, phase=phase, out=out, a_conj=a_conj,

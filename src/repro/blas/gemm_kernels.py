@@ -43,13 +43,17 @@ from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
 from repro.gpu.specs import GPUSpec, MI300X
 from repro.util.dtypes import Precision
+from repro.util.pairwise import canonical_segments, fold_pairwise
 from repro.util.validation import ReproError
 
 __all__ = [
     "SBGEMMKernel",
     "RocblasSBGEMM",
     "OptimizedSBGEMM",
+    "PairwiseSBGEMM",
     "gemm_strided_batched_reference",
+    "pairwise_gemm_strided_batched_reference",
+    "pairwise_segment_values",
 ]
 
 _NUMPY = NumpyBackend()
@@ -112,6 +116,118 @@ def gemm_strided_batched_reference(
     return be.matmul(be.transpose(A, (0, 2, 1)), B, out=out)
 
 
+def _pairwise_leaves(
+    A: Any,
+    B: Any,
+    op: Operation,
+    a_conj: Optional[Any],
+    be: Backend,
+) -> Tuple[Any, int]:
+    """Elementwise leaf products of a GEMM contraction, plus the fold axis.
+
+    For op N (contraction over A's columns) the leaf tensor is
+    ``A[b, i, j] * B[b, j, r]`` with shape (batch, m, n, k) and fold
+    axis 2; for op T/C (contraction over A's rows) it is
+    ``op(A)[b, j, i] * B[b, i, r]`` with shape (batch, m, n, k) and fold
+    axis 1.  Each product is a separate elementwise multiply — never a
+    ``matmul`` — so no fused multiply-add can regroup the sum the fixed
+    tree is about to pin down.
+    """
+    if op is Operation.C:
+        A = a_conj if a_conj is not None else be.conjugate(A)
+    if op is Operation.N:
+        # leaves[b, i, j, r] = A[b, i, j] * B[b, j, r]; contract axis 2.
+        return be.multiply(A[:, :, :, None], B[:, None, :, :]), 2
+    # leaves[b, i, j, r] = A[b, i, j] * B[b, i, r]; contract axis 1.
+    return be.multiply(A[:, :, :, None], B[:, :, None, :]), 1
+
+
+def pairwise_gemm_strided_batched_reference(
+    A: Any,
+    B: Any,
+    operation: Operation,
+    out: Optional[Any] = None,
+    a_conj: Optional[Any] = None,
+    backend: Optional[Backend] = None,
+) -> Any:
+    """Strided-batched GEMM with fixed-order pairwise accumulation.
+
+    Same shapes and contract as :func:`gemm_strided_batched_reference`,
+    but every output element is the :func:`~repro.util.pairwise.fold_pairwise`
+    tree sum of its elementwise leaf products rather than whatever
+    grouping the vendor GEMM's tiling produces.  Because the tree is per
+    output element and independent of ``k``, blocked and looped applies
+    agree bitwise at any block width — and restricting the contraction
+    range to a sub-partition and merging segment values reproduces the
+    same bits (see :func:`pairwise_segment_values`).
+    """
+    be = backend if backend is not None else _NUMPY
+    A = be.asarray(A)
+    B = be.asarray(B)
+    if A.ndim != 3:
+        raise ReproError(f"A must be (batch, m, n), got shape {tuple(A.shape)}")
+    if B.ndim != 3:
+        raise ReproError(f"B must be (batch, in_rows, k), got shape {tuple(B.shape)}")
+    op = Operation.parse(operation)
+    in_rows = A.shape[2] if op is Operation.N else A.shape[1]
+    if tuple(B.shape[:2]) != (A.shape[0], in_rows):
+        raise ReproError(
+            f"B must be ({A.shape[0]}, {in_rows}, k), got {tuple(B.shape)}"
+        )
+    out_rows = A.shape[1] if op is Operation.N else A.shape[2]
+    if out is not None and (
+        tuple(out.shape) != (A.shape[0], out_rows, B.shape[2])
+        or be.dtype_of(out) != be.dtype_of(A)
+    ):
+        raise ReproError(
+            f"out must be {(A.shape[0], out_rows, B.shape[2])} {be.dtype_of(A)}, "
+            f"got {tuple(out.shape)} {be.dtype_of(out)}"
+        )
+    leaves, axis = _pairwise_leaves(A, B, op, a_conj, be)
+    C = fold_pairwise(leaves, axis=axis, backend=be)
+    if out is not None:
+        out[...] = C
+        return out
+    return C
+
+
+def pairwise_segment_values(
+    A: Any,
+    B: Any,
+    operation: Operation,
+    start: int,
+    n_global: int,
+    a_conj: Optional[Any] = None,
+    backend: Optional[Backend] = None,
+) -> dict:
+    """Canonical-segment partial panels for a *local slice* of a GEMM.
+
+    ``A``/``B`` hold the contraction range ``[start, start + local)`` of
+    a global contraction axis of length ``n_global`` (a rank's column or
+    row block).  Returns ``{(s, e): value}`` mapping the range's
+    :func:`~repro.util.pairwise.canonical_segments` (virtual extents) to
+    their folded partial panels of shape (batch, out_rows, k).  Feeding
+    every rank's segments to
+    :func:`~repro.util.pairwise.fixed_tree_merge` (or the collective
+    wrapper :func:`repro.comm.collectives.fixed_tree_reduce_segments`)
+    yields the full panel bitwise-identical to
+    :func:`pairwise_gemm_strided_batched_reference` on the undivided
+    operands — for *any* partition, including width-1 parts.
+    """
+    be = backend if backend is not None else _NUMPY
+    A = be.asarray(A)
+    B = be.asarray(B)
+    op = Operation.parse(operation)
+    leaves, axis = _pairwise_leaves(A, B, op, a_conj, be)
+    local = int(leaves.shape[axis])
+    values = {}
+    for s, e in canonical_segments(start, start + local, n_global):
+        lo, hi = s - start, min(e, n_global) - start
+        sl = (slice(None),) * axis + (slice(lo, hi),)
+        values[(s, e)] = fold_pairwise(leaves[sl], axis=axis, backend=be)
+    return values
+
+
 # Architecture rescaling is relative to MI300X, matching the SBGEMV
 # kernels' convention so transition points move coherently across archs.
 _MI300X_REFERENCE_FRACTION = {
@@ -172,24 +288,50 @@ class SBGEMMKernel:
             )
         if not self.supports(problem):
             raise ReproError(f"{self.name} does not support {problem.describe()}")
-        C = gemm_strided_batched_reference(
-            A, B, problem.operation, out=out, a_conj=a_conj, backend=be
-        )
+        C = self._compute(A, B, problem, out=out, a_conj=a_conj, backend=be)
         if device is not None:
-            grid, block = self.launch_geometry(problem, device.spec)
-            eff = self.efficiency(problem, device.spec)
-            out_b = problem.out_rows * problem.k * problem.batch * problem.datatype.itemsize
-            kernel = KernelLaunch(
-                name=f"{self.name}_{problem.datatype.value}{problem.operation.value.lower()}",
-                grid=grid,
-                block=block,
-                bytes_read=float(problem.total_bytes - out_b),
-                bytes_written=float(out_b),
-                flops=2.0 * problem.m * problem.n * problem.k * problem.batch,
-                efficiency_hint=eff,
-            )
-            device.launch(kernel, phase=phase)
+            self.charge_launch(problem, device, phase=phase)
         return C
+
+    def _compute(
+        self,
+        A: Any,
+        B: Any,
+        problem: GemmProblem,
+        out: Optional[Any] = None,
+        a_conj: Optional[Any] = None,
+        backend: Optional[Backend] = None,
+    ) -> Any:
+        """Numerics hook — the vendor-order reference by default."""
+        return gemm_strided_batched_reference(
+            A, B, problem.operation, out=out, a_conj=a_conj, backend=backend
+        )
+
+    def charge_launch(
+        self,
+        problem: GemmProblem,
+        device: SimulatedDevice,
+        phase: str = "sbgemv",
+    ) -> None:
+        """Charge the simulated launch for one execution (no numerics).
+
+        Exposed separately so callers that compute through a different
+        numerical entry point (the grid engine's per-segment pairwise
+        path) can still book the kernel's modeled cost.
+        """
+        grid, block = self.launch_geometry(problem, device.spec)
+        eff = self.efficiency(problem, device.spec)
+        out_b = problem.out_rows * problem.k * problem.batch * problem.datatype.itemsize
+        kernel = KernelLaunch(
+            name=f"{self.name}_{problem.datatype.value}{problem.operation.value.lower()}",
+            grid=grid,
+            block=block,
+            bytes_read=float(problem.total_bytes - out_b),
+            bytes_written=float(out_b),
+            flops=2.0 * problem.m * problem.n * problem.k * problem.batch,
+            efficiency_hint=eff,
+        )
+        device.launch(kernel, phase=phase)
 
     # -- modeled performance -------------------------------------------------
     def modeled_time(self, problem: GemmProblem, spec: GPUSpec) -> float:
@@ -276,3 +418,53 @@ class OptimizedSBGEMM(SBGEMMKernel):
         # re-streaming A; a mild penalty models the lost locality.
         spill = (self._RHS_PANEL / problem.k) ** 0.15 if problem.k > self._RHS_PANEL else 1.0
         return min(0.95, base * spill * scale)
+
+
+class PairwiseSBGEMM(SBGEMMKernel):
+    """Deterministic SBGEMM: the fixed binary-tree accumulation order.
+
+    Wraps one of the fast kernels and keeps its launch geometry and
+    traffic model — a register-resident pairwise tree reads the same
+    bytes — but charges a flat ``DETERMINISM_TAX`` on achieved
+    bandwidth: pinning the add order costs the scheduler its freedom to
+    drain partial sums as tiles complete, and the tree's cross-lane
+    shuffles add latency the free-order kernel hides.  Numerics come
+    from :func:`pairwise_gemm_strided_batched_reference`, so every
+    output element is the canonical tree sum of its leaf products:
+    bitwise-identical across RHS block widths, looped vs blocked calls,
+    and any contraction-axis partition.
+
+    Unlike the fast path, ``k == 1`` panels go through this kernel too
+    (the dispatcher skips its GEMV degeneration in pairwise mode) — a
+    single column must round exactly like the same column inside a
+    block, or "blocked == looped" would only hold to rounding.
+    """
+
+    name = "pairwise_sbgemm"
+
+    DETERMINISM_TAX = 0.9  # fraction of the wrapped kernel's bandwidth
+
+    def __init__(self, inner: SBGEMMKernel) -> None:
+        self.inner = inner
+
+    def supports(self, problem: GemmProblem) -> bool:
+        return self.inner.supports(problem)
+
+    def launch_geometry(self, problem: GemmProblem, spec: GPUSpec) -> Tuple[Dim3, Dim3]:
+        return self.inner.launch_geometry(problem, spec)
+
+    def efficiency(self, problem: GemmProblem, spec: GPUSpec) -> float:
+        return self.inner.efficiency(problem, spec) * self.DETERMINISM_TAX
+
+    def _compute(
+        self,
+        A: Any,
+        B: Any,
+        problem: GemmProblem,
+        out: Optional[Any] = None,
+        a_conj: Optional[Any] = None,
+        backend: Optional[Backend] = None,
+    ) -> Any:
+        return pairwise_gemm_strided_batched_reference(
+            A, B, problem.operation, out=out, a_conj=a_conj, backend=backend
+        )

@@ -43,10 +43,29 @@ Only modeled *time* moves: repartitioning the searched axis never
 regroups a floating-point accumulation (the contraction and reduction
 grouping live on the *other* axis), so the forward pipeline is
 bitwise-invariant under row repartitions and the adjoint pipeline under
-column repartitions.  One caveat: a width-1 part can flip last-bit
-rounding because the underlying BLAS switches kernels for degenerate
-panels — pass ``min_part=2`` to keep every searched part non-degenerate
-when bitwise reproducibility across partitions matters.
+column repartitions.  Repartitioning the *contraction* axis does
+regroup the sum in the engines' default ``reduction="fast"`` mode — the
+vendor kernels accumulate per local panel and the grid reduce is
+indexed by rank — but ``reduction="pairwise"``
+(:class:`~repro.core.parallel.ParallelFFTMatvec`) pins the whole
+distributed contraction to one fixed tree over *global* element
+indices, making results bitwise identical for **any** partition the
+search produces, including width-1 parts.  The historical
+``min_part=2`` escape hatch (keep every part non-degenerate so the
+vendor BLAS never switches to a width-1 kernel) remains available for
+fast-mode runs, but the default ``min_part=1`` searches the full
+partition space: in pairwise mode there is no reproducibility reason to
+exclude single-element parts.
+
+:func:`balance_grid` extends the 1-D search to the joint row x col
+problem — alternating axis passes against a per-rank unit-cost model
+(rank compute ~ ``unit(r, c) * nd_r * nm_c``) to a fixed point — and
+:func:`affine_part_costs` upgrades the measured cost model from linear
+to affine (``cost = a + b * n``, per-rank constants separated from the
+per-element slope) using two measurement rounds under different
+partitions; :func:`measure_rebalance_loop` accepts
+``cost_model="affine"`` to use it, which stops the single-pass
+under-correction the linear model needs extra rounds to walk off.
 """
 
 from __future__ import annotations
@@ -62,11 +81,15 @@ from repro.util.validation import ReproError, check_positive_int
 
 __all__ = [
     "BalanceResult",
+    "GridBalanceResult",
     "MeasureRebalanceResult",
     "balance_extents",
+    "balance_grid",
     "linear_cost",
+    "affine_cost",
     "analytic_unit_costs",
     "measured_unit_costs",
+    "affine_part_costs",
     "rebalance_rows",
     "rebalance_cols",
     "measure_rebalance_loop",
@@ -141,6 +164,38 @@ def linear_cost(unit_costs: Sequence[float]) -> PartCost:
 
     def cost(part: int, length: int) -> float:
         return units[part] * length
+
+    return cost
+
+
+def affine_cost(
+    constants: Sequence[float], unit_costs: Sequence[float]
+) -> PartCost:
+    """Part-cost callable for an affine model: ``cost = a + b * length``.
+
+    ``constants[i]`` (seconds, >= 0) captures part ``i``'s
+    extent-independent charges — kernel launch overheads and the phases
+    batched over the *other* grid axis — and ``unit_costs[i]`` (> 0) the
+    per-element slope.  The constants do not move when the boundary
+    does, which is exactly why a linear fit to a measurement that
+    includes them under-corrects; see :func:`affine_part_costs`.
+    """
+    a = [float(x) for x in constants]
+    b = [float(x) for x in unit_costs]
+    if not a or len(a) != len(b):
+        raise ReproError(
+            f"constants and unit_costs must be equal-length and non-empty, "
+            f"got {len(a)} and {len(b)}"
+        )
+    for i, x in enumerate(a):
+        if x < 0:
+            raise ReproError(f"constants[{i}] must be >= 0, got {x}")
+    for i, x in enumerate(b):
+        if x <= 0:
+            raise ReproError(f"unit_costs[{i}] must be > 0, got {x}")
+
+    def cost(part: int, length: int) -> float:
+        return a[part] + b[part] * length
 
     return cost
 
@@ -225,9 +280,10 @@ def balance_extents(
         any monotone objective needs; ``converged=False`` flags a hit).
     min_part:
         Smallest part length the search may produce (default 1 — any
-        valid partition).  Pass 2 to keep every part non-degenerate,
-        guaranteeing bitwise-reproducible numerics across partitions
-        (width-1 BLAS panels may round differently).
+        valid partition, which ``reduction="pairwise"`` engines accept
+        with bitwise-identical results).  Pass 2 to keep every part
+        non-degenerate when balancing a fast-mode contraction axis
+        (width-1 BLAS panels may round differently there).
     what:
         Label used in validation error messages.
 
@@ -420,6 +476,72 @@ def measured_unit_costs(
     return units
 
 
+def _part_seconds(
+    report: Dict[Tuple[int, int], float],
+    ranges: Sequence[Tuple[int, int]],
+    pr: int,
+    pc: int,
+    axis: str,
+) -> List[Tuple[float, int]]:
+    """Per-part ``(max-over-concurrent seconds, owned length)`` pairs."""
+    units = measured_unit_costs(report, ranges, pr, pc, axis=axis)
+    lengths = _lengths(ranges)
+    return [(u * ln, ln) for u, ln in zip(units, lengths)]
+
+
+def affine_part_costs(
+    report_a: Dict[Tuple[int, int], float],
+    ranges_a: Sequence[Tuple[int, int]],
+    report_b: Dict[Tuple[int, int], float],
+    ranges_b: Sequence[Tuple[int, int]],
+    pr: int,
+    pc: int,
+    axis: str = "col",
+) -> PartCost:
+    """Fit an affine cost model ``cost_i = a_i + b_i * n`` per part.
+
+    Two measurement rounds under *different* partitions of the searched
+    axis pin down both coefficients: the slope is the finite difference
+    ``b = (c1 - c2) / (n1 - n2)`` and the constant ``a = c1 - b * n1``
+    is the part's extent-independent charge (launch overheads, the
+    phases batched over the other grid axis).  A single-round linear fit
+    folds that constant into the slope and under-corrects — the
+    measure→rebalance loop then needs extra rounds to walk the boundary
+    the rest of the way; with the affine model one search lands on it.
+
+    Parts whose extent did not change between the rounds (or whose
+    finite-difference slope/constant comes out non-positive — possible
+    at small extents where the measurement is not affine-monotone) fall
+    back to the conservative linear model, using the larger of the two
+    rounds' per-element costs so the fallback never undersells a part.
+
+    ``report_a``/``ranges_a`` and ``report_b``/``ranges_b`` are
+    :meth:`~repro.core.parallel.ParallelFFTMatvec.rank_compute_report`
+    dictionaries with the partitions they were measured under (same
+    workload both rounds).  Returns a :data:`PartCost` for
+    :func:`balance_extents`.
+    """
+    pa = _part_seconds(report_a, ranges_a, pr, pc, axis)
+    pb = _part_seconds(report_b, ranges_b, pr, pc, axis)
+    constants: List[float] = []
+    slopes: List[float] = []
+    for (c1, n1), (c2, n2) in zip(pa, pb):
+        linear = max(c1 / n1, c2 / n2)
+        if n1 == n2:
+            constants.append(0.0)
+            slopes.append(linear)
+            continue
+        b = (c1 - c2) / (n1 - n2)
+        a = c1 - b * n1
+        if b <= 0 or a < 0:
+            constants.append(0.0)
+            slopes.append(linear)
+        else:
+            constants.append(a)
+            slopes.append(b)
+    return affine_cost(constants, slopes)
+
+
 def rebalance_rows(
     engine, max_rounds: Optional[int] = None, min_part: int = 1
 ) -> BalanceResult:
@@ -471,6 +593,176 @@ def rebalance_cols(
 
 
 @dataclass(frozen=True)
+class GridBalanceResult:
+    """Outcome of the joint row x col partition search.
+
+    Attributes
+    ----------
+    row_extents, col_extents:
+        The searched 2-D block partition, each axis valid under
+        :func:`~repro.comm.partition.check_extents`.
+    modeled_max:
+        Max-over-ranks ``unit(r, c) * nd_r * nm_c`` of the searched
+        partition — the objective the alternation minimizes.
+    initial_max:
+        The same objective on the starting partition.
+    rank_costs:
+        Modeled per-rank seconds of the searched partition, keyed
+        ``(r, c)``.
+    passes:
+        Alternating row→col passes executed.
+    history:
+        Per-pass ``(row BalanceResult, col BalanceResult)`` pairs.
+    converged:
+        True when a pass changed neither axis (joint fixed point) or
+        revisited an earlier state (a +-1 boundary cycle); False only
+        when ``max_passes`` ran out first.
+    """
+
+    row_extents: List[Tuple[int, int]]
+    col_extents: List[Tuple[int, int]]
+    modeled_max: float
+    initial_max: float
+    rank_costs: Dict[Tuple[int, int], float]
+    passes: int
+    history: List[Tuple[BalanceResult, BalanceResult]]
+    converged: bool
+
+    @property
+    def improvement(self) -> float:
+        """``initial_max / modeled_max`` — the searched joint speedup."""
+        return self.initial_max / self.modeled_max if self.modeled_max > 0 else 1.0
+
+
+def _even_lengths(n: int, parts: int) -> List[int]:
+    base, rem = divmod(n, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def balance_grid(
+    nd: int,
+    nm: int,
+    pr: int,
+    pc: int,
+    unit_cost: Callable[[int, int], float],
+    row_initial: Optional[Sequence[Tuple[int, int]]] = None,
+    col_initial: Optional[Sequence[Tuple[int, int]]] = None,
+    max_passes: int = 8,
+    min_part: int = 1,
+) -> GridBalanceResult:
+    """Jointly search ``row_ranges`` x ``col_ranges`` on a 2-D cost model.
+
+    Rank ``(r, c)`` owns an ``nd_r x nm_c`` tile and its modeled compute
+    is ``unit_cost(r, c) * nd_r * nm_c`` — the memory-bound phases scale
+    with the tile area.  The two axes couple through the max: moving a
+    row boundary changes which *column* widths matter on the slowest
+    row, so 1-D passes in isolation can each look converged while the
+    joint objective is not.  This search alternates: balance the rows
+    against per-row unit costs ``max_c unit(r, c) * nm_c`` frozen at the
+    current columns, then the columns against ``max_r unit(r, c) * nd_r``
+    frozen at the *new* rows, repeating until a full pass moves neither
+    axis.  Each 1-D pass is a :func:`balance_extents` search, so every
+    partition the alternation walks through satisfies the engine's
+    contract, and the objective is non-increasing across passes (each
+    pass minimizes the same max with the other axis held fixed).
+
+    ``unit_cost(r, c)`` gives rank ``(r, c)``'s seconds per owned cell —
+    from device specs (``1 / (bandwidth * peak_fraction)``, the
+    heterogeneous-fleet case) or measurements.  ``row_initial`` /
+    ``col_initial`` default to the even split :class:`ProcessGrid`
+    would produce.  ``min_part=1`` is safe for pairwise-mode engines on
+    both axes (see the module docstring).
+    """
+    check_positive_int(nd, "nd")
+    check_positive_int(nm, "nm")
+    check_positive_int(pr, "pr")
+    check_positive_int(pc, "pc")
+    check_positive_int(max_passes, "max_passes")
+    check_positive_int(min_part, "min_part")
+    if pr * min_part > nd or pc * min_part > nm:
+        raise ReproError(
+            f"cannot split {nd}x{nm} over a {pr}x{pc} grid with parts >= {min_part}"
+        )
+    units: Dict[Tuple[int, int], float] = {}
+    for r in range(pr):
+        for c in range(pc):
+            u = float(unit_cost(r, c))
+            if u <= 0:
+                raise ReproError(f"unit_cost({r}, {c}) must be > 0, got {u}")
+            units[(r, c)] = u
+
+    rows = (
+        check_extents(row_initial, nd, pr, what="row_initial")
+        if row_initial is not None
+        else _extents_from_lengths(_even_lengths(nd, pr))
+    )
+    cols = (
+        check_extents(col_initial, nm, pc, what="col_initial")
+        if col_initial is not None
+        else _extents_from_lengths(_even_lengths(nm, pc))
+    )
+
+    def rank_costs(
+        row_ext: Sequence[Tuple[int, int]], col_ext: Sequence[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], float]:
+        rl, cl = _lengths(row_ext), _lengths(col_ext)
+        return {
+            (r, c): units[(r, c)] * rl[r] * cl[c]
+            for r in range(pr)
+            for c in range(pc)
+        }
+
+    initial_max = max(rank_costs(rows, cols).values())
+    history: List[Tuple[BalanceResult, BalanceResult]] = []
+    seen = {(tuple(map(tuple, rows)), tuple(map(tuple, cols)))}
+    converged = False
+    for _ in range(max_passes):
+        col_len = _lengths(cols)
+        row_units = [
+            max(units[(r, c)] * col_len[c] for c in range(pc)) for r in range(pr)
+        ]
+        row_res = balance_extents(
+            nd,
+            pr,
+            linear_cost(row_units),
+            initial=rows,
+            min_part=min_part,
+            what="row_ranges",
+        )
+        row_len = _lengths(row_res.extents)
+        col_units = [
+            max(units[(r, c)] * row_len[r] for r in range(pr)) for c in range(pc)
+        ]
+        col_res = balance_extents(
+            nm,
+            pc,
+            linear_cost(col_units),
+            initial=cols,
+            min_part=min_part,
+            what="col_ranges",
+        )
+        history.append((row_res, col_res))
+        moved = row_res.extents != rows or col_res.extents != cols
+        rows, cols = row_res.extents, col_res.extents
+        state = (tuple(map(tuple, rows)), tuple(map(tuple, cols)))
+        if not moved or state in seen:
+            converged = True
+            break
+        seen.add(state)
+    costs = rank_costs(rows, cols)
+    return GridBalanceResult(
+        row_extents=rows,
+        col_extents=cols,
+        modeled_max=max(costs.values()),
+        initial_max=initial_max,
+        rank_costs=costs,
+        passes=len(history),
+        history=history,
+        converged=converged,
+    )
+
+
+@dataclass(frozen=True)
 class MeasureRebalanceResult:
     """Outcome of the iterated measure→rebalance loop.
 
@@ -508,6 +800,7 @@ def measure_rebalance_loop(
     max_rounds: int = 12,
     min_part: int = 1,
     rtol: float = 0.02,
+    cost_model: str = "linear",
 ) -> MeasureRebalanceResult:
     """Iterate measure → search until the charged skew converges.
 
@@ -554,9 +847,21 @@ def measure_rebalance_loop(
         model's resolution — near the optimum a linear model only flaps
         boundaries by +-1).  0 disables the tolerance and requires an
         exact fixed point or revisit.
+    cost_model:
+        ``"linear"`` (default) searches each round on the measured
+        per-element costs alone.  ``"affine"`` fits
+        :func:`affine_part_costs` from the current round and the
+        previous one as soon as two rounds under different partitions
+        exist, separating per-rank constants from the per-element slope
+        — the loop then stops under-correcting and typically converges
+        in fewer measurement rounds (round 0 necessarily runs linear).
     """
     if axis not in ("row", "col"):
         raise ReproError(f"axis must be 'row' or 'col', got {axis!r}")
+    if cost_model not in ("linear", "affine"):
+        raise ReproError(
+            f"cost_model must be 'linear' or 'affine', got {cost_model!r}"
+        )
     check_positive_int(max_rounds, "max_rounds")
     rebalance = rebalance_cols if axis == "col" else rebalance_rows
     current = list(initial) if initial is not None else None
@@ -566,6 +871,7 @@ def measure_rebalance_loop(
     # and runs the same workload.
     visited: Dict[Tuple[Tuple[int, int], ...], float] = {}
     converged = False
+    prev_round: Optional[Tuple[Dict[Tuple[int, int], float], Tuple]] = None
     for _ in range(max_rounds):
         engine = make_engine(current)
         run_workload(engine)
@@ -573,11 +879,36 @@ def measure_rebalance_loop(
             tuple(e)
             for e in (engine.col_ranges if axis == "col" else engine.row_ranges)
         )
-        measured_max = max(engine.rank_compute_report().values())
+        report = engine.rank_compute_report()
+        measured_max = max(report.values())
         prev = visited.get(measured_under)
         if prev is None or measured_max < prev:
             visited[measured_under] = measured_max
-        res = rebalance(engine, min_part=min_part)
+        if (
+            cost_model == "affine"
+            and prev_round is not None
+            and prev_round[1] != measured_under
+        ):
+            cost = affine_part_costs(
+                prev_round[0],
+                list(prev_round[1]),
+                report,
+                list(measured_under),
+                engine.grid.pr,
+                engine.grid.pc,
+                axis=axis,
+            )
+            res = balance_extents(
+                engine.nm if axis == "col" else engine.nd,
+                engine.grid.pc if axis == "col" else engine.grid.pr,
+                cost,
+                initial=list(measured_under),
+                min_part=min_part,
+                what="col_ranges" if axis == "col" else "row_ranges",
+            )
+        else:
+            res = rebalance(engine, min_part=min_part)
+        prev_round = (report, measured_under)
         history.append(res)
         searched = tuple(tuple(e) for e in res.extents)
         # res.initial_max scores the partition this round measured under

@@ -24,10 +24,12 @@ from typing import Any, List, Optional, Sequence
 from repro.backend import Backend, NumpyBackend
 from repro.comm.netmodel import NetworkModel
 from repro.util.dtypes import Precision
+from repro.util.pairwise import fixed_tree_merge
 from repro.util.validation import ReproError
 
 __all__ = [
     "tree_reduce_arrays",
+    "fixed_tree_reduce_segments",
     "tree_collective_time",
     "ring_allreduce_time",
     "log2_steps",
@@ -56,6 +58,17 @@ def tree_reduce_arrays(
     back as its precision configuration dictates.  Contributions may be
     arrays of the given ``backend`` (default numpy); the accumulation
     then stays on that backend.
+
+    The fold — adjacent pairs per level, an odd trailing contribution
+    passing through unchanged — is exactly the virtual power-of-two tree
+    of :mod:`repro.util.pairwise` applied over the *rank index*.  That
+    makes the grouping deterministic for a fixed rank count, but the
+    tree is indexed by rank, so changing the partition regroups the sum:
+    what lands in rank ``i``'s contribution moves between leaves.  When
+    the accumulation must be invariant to the partition itself, reduce
+    *canonical segments of the contraction axis* instead with
+    :func:`fixed_tree_reduce_segments`, whose tree is indexed by global
+    element position.
     """
     be = backend if backend is not None else _NUMPY
     if len(arrays) == 0:
@@ -97,6 +110,36 @@ def tree_reduce_arrays(
             nxt_owned.append(owned[-1])
         work, owned = nxt, nxt_owned
     return work[0]
+
+
+def fixed_tree_reduce_segments(
+    segments: Any,
+    n: int,
+    precision: Optional[Precision] = None,
+    backend: Optional[Backend] = None,
+) -> Any:
+    """Partition-invariant reduction of canonical contraction segments.
+
+    ``segments`` maps virtual tree extents ``(s, e)`` (each rank
+    contributes the :func:`repro.util.pairwise.canonical_segments` of
+    its contiguous slice of a global axis of length ``n``) to partial
+    arrays; ranks' dicts may be merged into one since their keys are
+    disjoint.  Every addition performed is an edge of the one virtual
+    binary tree over ``[0, n)``, so the result is **bitwise identical
+    for any partition** — per-rank tree leaves never move when extents
+    change, which is what lifts the ``min_part=2`` caveat in
+    :mod:`repro.comm.balance`.  All adds happen at ``precision``
+    (default: the dtype the contributions arrive in), mirroring
+    :func:`tree_reduce_arrays`' contract.
+    """
+    be = backend if backend is not None else _NUMPY
+    if not segments:
+        raise ReproError("cannot reduce zero segments")
+    work = {}
+    for key, arr in segments.items():
+        arr = be.asarray(arr)
+        work[key] = be.cast(arr, precision) if precision is not None else arr
+    return fixed_tree_merge(work, n, backend=be)
 
 
 def tree_collective_time(

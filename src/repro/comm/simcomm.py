@@ -33,7 +33,11 @@ import contextlib
 from typing import Any, Iterator, List, Optional, Sequence
 
 from repro.backend import Backend, NumpyBackend
-from repro.comm.collectives import tree_collective_time, tree_reduce_arrays
+from repro.comm.collectives import (
+    fixed_tree_reduce_segments,
+    tree_collective_time,
+    tree_reduce_arrays,
+)
 from repro.comm.netmodel import NetworkModel, SIMPLE_NETWORK
 from repro.util.dtypes import Precision
 from repro.util.timing import SimClock, Stream
@@ -201,6 +205,62 @@ class SimCommunicator:
         out = tree_reduce_arrays(bufs, precision=precision, backend=be)
         self.op_counts["reduce"] += 1
         self._charge(self.size, be.nbytes(bufs[0]), phase, op="reduce")
+        return out
+
+    def reduce_segments(
+        self,
+        segments: Sequence[Any],
+        n: int,
+        root: int = 0,
+        precision: Optional[Precision] = None,
+        phase: str = "comm",
+        backend: Optional[Backend] = None,
+    ) -> Any:
+        """Partition-invariant reduce of canonical contraction segments.
+
+        ``segments`` holds one dict per rank, mapping virtual tree
+        extents (:func:`repro.util.pairwise.canonical_segments` of the
+        rank's contiguous slice of a global axis of length ``n``) to
+        partial arrays.  The root receives the fixed-tree merge
+        (:func:`repro.comm.collectives.fixed_tree_reduce_segments`) —
+        **bitwise identical for any partition**, unlike :meth:`reduce`,
+        whose tree is indexed by rank.
+
+        Cost: each rank ships all of its segment partials up the tree,
+        so the charged payload is the *largest per-rank total* — the
+        slowest contributor gates the collective.  A rank's range
+        decomposes into at most ``2*log2(n)`` segments, each a full
+        output-part panel, so this reduce moves more bytes than the
+        post-IFFT :meth:`reduce` of the fast path; that volume is part
+        of the determinism tax the benchmarks report.
+        """
+        be = backend if backend is not None else self.backend
+        if len(segments) != self.size:
+            raise ReproError(
+                f"reduce_segments: expected {self.size} per-rank segment "
+                f"dicts, got {len(segments)}"
+            )
+        if not (0 <= root < self.size):
+            raise ReproError(f"root {root} out of range for size {self.size}")
+        merged: dict = {}
+        for rank, table in enumerate(segments):
+            if not table:
+                raise ReproError(f"rank {rank} contributed zero segments")
+            for key in table:
+                if key in merged:
+                    raise ReproError(
+                        f"segment {key} contributed by more than one rank"
+                    )
+            merged.update(table)
+        out = fixed_tree_reduce_segments(
+            merged, n, precision=precision, backend=be
+        )
+        self.op_counts["reduce"] += 1
+        nbytes = max(
+            float(sum(be.nbytes(be.asarray(a)) for a in table.values()))
+            for table in segments
+        )
+        self._charge(self.size, nbytes, phase, op="reduce")
         return out
 
     def allreduce(

@@ -90,6 +90,16 @@ class FFTMatvec:
         when unavailable), or ``None`` to follow ``REPRO_BACKEND``
         (default ``auto``: cupy → torch → numpy).  Inputs and outputs
         stay host float64 on every backend.
+    reduction:
+        ``"fast"`` (default) lets Phase 3 accumulate in whatever order
+        the selected BLAS kernel's tiling produces.  ``"pairwise"``
+        pins the fixed binary-tree order of :mod:`repro.util.pairwise`
+        instead: vector and blocked applies become bitwise-identical at
+        any block width (``matvec`` routes through the width-1 blocked
+        pipeline), and on the grid engine any contraction-axis
+        partition — including width-1 parts — reproduces the same bits.
+        Costs the modeled determinism tax of
+        :class:`~repro.blas.gemm_kernels.PairwiseSBGEMM`.
     """
 
     def __init__(
@@ -99,7 +109,13 @@ class FFTMatvec:
         use_optimized_sbgemv: bool = True,
         workspace: Union[None, bool, Workspace] = None,
         backend: Union[None, str, Backend] = None,
+        reduction: str = "fast",
     ) -> None:
+        if reduction not in ("fast", "pairwise"):
+            raise ReproError(
+                f"reduction must be 'fast' or 'pairwise', got {reduction!r}"
+            )
+        self.reduction = reduction
         self.matrix = (
             matrix
             if isinstance(matrix, BlockTriangularToeplitz)
@@ -268,6 +284,11 @@ class FFTMatvec:
         :class:`~repro.serve.cache.EngineCache` group requests by this
         key (plus the kernel-content digest — geometry says nothing
         about the Toeplitz blocks' values).
+
+        The reduction mode is part of the key: a fast-mode and a
+        pairwise-mode engine produce different bits for the same
+        operator, so the serving layer must never coalesce their
+        requests or share a cached engine between them.
         """
         return (
             "FFTMatvec",
@@ -278,6 +299,7 @@ class FFTMatvec:
             self.n_freq,
             self.backend.name,
             self.device.spec.name if self.device is not None else None,
+            self.reduction,
             str(PrecisionConfig.parse(config)) if config is not None else None,
         )
 
@@ -350,7 +372,13 @@ class FFTMatvec:
     def _run_sbgemm(
         self, mhat: Any, operation: Operation, precision: Precision
     ) -> Any:
-        """Blocked Phase 3: per-frequency GEMM on a (n_freq, nx, k) panel."""
+        """Blocked Phase 3: per-frequency GEMM on a (n_freq, nx, k) panel.
+
+        Honors the engine's ``reduction`` mode: pairwise engines route
+        through the fixed-tree kernel at every entry point (including
+        the ``k == 1`` panel the GEMV degeneration would otherwise
+        claim), so one accumulation order serves the whole engine.
+        """
         be = self.backend
         fhat = self.spectrum(precision)
         # The conjugated spectrum is cached for the adjoint (op C): the
@@ -375,8 +403,11 @@ class FFTMatvec:
                     out=out,
                     a_conj=a_conj,
                     backend=be,
+                    reduction=self.reduction,
                 )
-            # Ablation: force the vendor GEMM, mirroring the GEMV ablation.
+            # Ablation: force the vendor GEMM, mirroring the GEMV ablation
+            # (wrapped in the fixed-tree order when the engine pins one).
+            from repro.blas.gemm_kernels import PairwiseSBGEMM
             from repro.blas.types import BlasDatatype, GemmProblem
 
             problem = GemmProblem(
@@ -387,7 +418,10 @@ class FFTMatvec:
                 datatype=BlasDatatype.from_dtype(be.dtype_of(fhat)),
                 operation=operation,
             )
-            return self.dispatcher.rocblas_gemm.run(
+            kernel = self.dispatcher.rocblas_gemm
+            if self.reduction == "pairwise":
+                kernel = PairwiseSBGEMM(kernel)
+            return kernel.run(
                 fhat,
                 mhat,
                 problem,
@@ -397,11 +431,62 @@ class FFTMatvec:
                 a_conj=a_conj,
                 backend=be,
             )
+        if self.reduction == "pairwise":
+            from repro.blas.gemm_kernels import (
+                pairwise_gemm_strided_batched_reference,
+            )
+
+            return pairwise_gemm_strided_batched_reference(
+                fhat, mhat, operation, out=out, a_conj=a_conj, backend=be
+            )
         from repro.blas.gemm_kernels import gemm_strided_batched_reference
 
         return gemm_strided_batched_reference(
             fhat, mhat, operation, out=out, a_conj=a_conj, backend=be
         )
+
+    def _run_sbgemm_pairwise_segments(
+        self,
+        panel: Any,
+        operation: Operation,
+        precision: Precision,
+        start: int,
+        n_global: int,
+    ) -> Dict[Tuple[int, int], Any]:
+        """Phase 3 for a grid rank in pairwise mode: canonical segments.
+
+        Instead of this rank's full local contraction (whose grouping
+        would depend on the local width), compute the partial panel of
+        every canonical tree segment of the rank's global range
+        ``[start, start + nx)`` within an axis of length ``n_global``.
+        The grid engine merges all ranks' segments in frequency domain
+        (:func:`repro.comm.collectives.fixed_tree_reduce_segments`), so
+        the full contraction is one fixed tree regardless of partition.
+        Charges the local pairwise kernel's modeled launch.
+        """
+        from repro.blas.gemm_kernels import pairwise_segment_values
+
+        be = self.backend
+        fhat = self.spectrum(precision)
+        a_conj = self.spectrum_conj(precision) if operation is Operation.C else None
+        values = pairwise_segment_values(
+            fhat, panel, operation, start, n_global, a_conj=a_conj, backend=be
+        )
+        if self.dispatcher is not None and self.device is not None:
+            from repro.blas.types import BlasDatatype, GemmProblem
+
+            problem = GemmProblem(
+                m=self.nd,
+                n=self.nm,
+                k=panel.shape[2],
+                batch=self.n_freq,
+                datatype=BlasDatatype.from_dtype(be.dtype_of(fhat)),
+                operation=operation,
+            )
+            kernel = self.dispatcher.select_gemm(problem, reduction="pairwise")
+            self.dispatcher.dispatch_counts[kernel.name] += 1
+            kernel.charge_launch(problem, self.device, phase="sbgemv")
+        return values
 
     def _run_sbgemv_panel(
         self, mhat: Any, operation: Operation, precision: Precision
@@ -778,6 +863,153 @@ class FFTMatvec:
             )
         return self._finalize(res.reshape(nt, ny, k), out, detach=detach)
 
+    # -- grid pairwise split: front (phases 1-3) / finish (phases 4-5) ---------
+    # The IFFT does not distribute over addition bitwise, so a
+    # partition-invariant grid apply must reduce in *frequency domain*
+    # (where the contraction lives) and run phases 4-5 exactly once per
+    # output part.  Phases 1-2 are per-column batch-independent and the
+    # spectrum slices are bitwise slices of the global spectrum
+    # (per-(d,m) lag FFTs in _setup_spectrum), which is what makes a
+    # rank's front bitwise-equal to the corresponding slice of a
+    # single-device front.
+
+    def _pipeline_block_pairwise_segments(
+        self,
+        v_in: np.ndarray,
+        config: PrecisionConfig,
+        adjoint: bool,
+        start: int,
+        n_global: int,
+    ) -> Dict[Tuple[int, int], Any]:
+        """Front half for one grid rank: pad, FFT, reorder, cast, then
+        Phase-3 canonical-segment partials over the rank's global
+        contraction range ``[start, start + nx)``.  Segment values are
+        fresh arrays (not arena buffers), safe to hold across this
+        engine's next apply.
+        """
+        ws = self.workspace
+        if ws is None:
+            return self._pairwise_segments_inner(
+                v_in, config, adjoint, start, n_global
+            )
+        ws.begin_apply()
+        try:
+            return self._pairwise_segments_inner(
+                v_in, config, adjoint, start, n_global
+            )
+        finally:
+            ws.end_apply()
+
+    def _pairwise_segments_inner(
+        self,
+        v_in: np.ndarray,
+        config: PrecisionConfig,
+        adjoint: bool,
+        start: int,
+        n_global: int,
+    ) -> Dict[Tuple[int, int], Any]:
+        operation = Operation.C if adjoint else Operation.N
+        nt, nx, k = v_in.shape
+        ws = self.workspace
+
+        with self._phase_ctx("pad"):
+            x = pad_to_soti(
+                v_in.reshape(nt, nx * k),
+                config.pad,
+                device=self.device,
+                phase="pad",
+                workspace=ws,
+                backend=self.backend,
+            )
+        with self._phase_ctx("fft"):
+            x = self._maybe_cast(x, config.fft, "cast_fft")
+            plan = self._plan("fwd", config.fft, batch=x.shape[0])
+            xhat = plan.execute(x, phase="fft", workspace=ws)
+        reorder_prec = config.reorder_precision("fft", "sbgemv")
+        with self._phase_ctx("sbgemv"):
+            vhat = soti_to_tosi(
+                xhat,
+                precision=reorder_prec,
+                device=self.device,
+                phase="sbgemv",
+                workspace=ws,
+                tag="fwd_reorder",
+                backend=self.backend,
+            )
+            vhat = self._maybe_cast(vhat, config.sbgemv, "cast_sbgemv")
+            if self.backend.dtype_of(vhat) != complex_dtype(config.sbgemv):
+                raise ReproError("internal: SBGEMM input precision mismatch")
+            panel = vhat.reshape(self.n_freq, nx, k)
+            return self._run_sbgemm_pairwise_segments(
+                panel, operation, config.sbgemv, start, n_global
+            )
+
+    def _pipeline_block_finish(
+        self,
+        yhat: Any,
+        config: PrecisionConfig,
+        adjoint: bool,
+        out: Optional[np.ndarray] = None,
+        detach: bool = True,
+    ) -> np.ndarray:
+        """Back half: reorder/cast the merged ``(n_freq, ny, k)``
+        frequency panel, inverse FFT, unpad, finalize.  Runs once per
+        output part on its root rank's engine (``ny`` must match this
+        engine's output extent)."""
+        ws = self.workspace
+        if ws is None:
+            return self._pipeline_finish_inner(yhat, config, adjoint, out, detach)
+        ws.begin_apply()
+        try:
+            return self._pipeline_finish_inner(yhat, config, adjoint, out, detach)
+        finally:
+            ws.end_apply()
+
+    def _pipeline_finish_inner(
+        self,
+        yhat: Any,
+        config: PrecisionConfig,
+        adjoint: bool,
+        out: Optional[np.ndarray],
+        detach: bool,
+    ) -> np.ndarray:
+        ny = self.nm if adjoint else self.nd
+        nf, ny_got, k = yhat.shape
+        if (nf, ny_got) != (self.n_freq, ny):
+            raise ReproError(
+                f"finish panel must be ({self.n_freq}, {ny}, k), "
+                f"got {tuple(yhat.shape)}"
+            )
+        ws = self.workspace
+        with self._phase_ctx("sbgemv"):
+            reorder_prec = config.reorder_precision("sbgemv", "ifft")
+            yhat = tosi_to_soti(
+                yhat.reshape(self.n_freq, ny * k),
+                precision=reorder_prec,
+                device=self.device,
+                phase="sbgemv",
+                workspace=ws,
+                tag="bwd_reorder",
+                backend=self.backend,
+            )
+        with self._phase_ctx("ifft"):
+            yhat = self._maybe_cast(yhat, config.ifft, "cast_ifft")
+            plan = self._plan("inv", config.ifft, batch=yhat.shape[0])
+            y = plan.inverse(yhat, phase="ifft", workspace=ws)
+        with self._phase_ctx("unpad"):
+            dest = self._unpad_dest(config, out, (self.nt, y.shape[0]))
+            res = unpad_from_soti(
+                y,
+                self.nt,
+                config.unpad,
+                device=self.device,
+                phase="unpad",
+                workspace=None if dest is not None else ws,
+                out=dest,
+                backend=self.backend,
+            )
+        return self._finalize(res.reshape(self.nt, ny, k), out, detach=detach)
+
     # -- public API ----------------------------------------------------------
     def _check_out(self, out: Optional[np.ndarray], shape: Tuple[int, ...]):
         """Validate a caller-supplied output buffer (float64, contiguous)."""
@@ -795,10 +1027,17 @@ class FFTMatvec:
         the result is a double-precision ``(Nt, Nd)`` array.  ``out``
         receives the result in a caller-owned buffer — combined with a
         workspace arena, repeated applies are allocation-free.
+
+        In pairwise mode the vector rides the width-1 blocked pipeline:
+        the fixed tree makes a lone column accumulate bitwise like the
+        same column inside any block, so ``matvec(m)`` ==
+        ``matmat(M)[:, :, j]`` exactly whenever ``M[:, :, j] == m``.
         """
         cfg = PrecisionConfig.parse(config)
         mm = self.matrix.check_input(m).astype(np.float64, copy=False)
         out = self._check_out(out, (self.nt, self.nd))
+        if self.reduction == "pairwise":
+            return self._apply_vector_pairwise(mm, cfg, adjoint=False, out=out)
         return self._timed(
             lambda: self._pipeline(mm, cfg, adjoint=False, out=out), str(cfg)
         )
@@ -813,9 +1052,28 @@ class FFTMatvec:
         cfg = PrecisionConfig.parse(config)
         dd = self.matrix.check_output(d).astype(np.float64, copy=False)
         out = self._check_out(out, (self.nt, self.nm))
+        if self.reduction == "pairwise":
+            return self._apply_vector_pairwise(dd, cfg, adjoint=True, out=out)
         return self._timed(
             lambda: self._pipeline(dd, cfg, adjoint=True, out=out), str(cfg)
         )
+
+    def _apply_vector_pairwise(
+        self,
+        v_in: np.ndarray,
+        cfg: PrecisionConfig,
+        adjoint: bool,
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Vector apply via the width-1 blocked pipeline (pairwise mode)."""
+        res3 = self._timed(
+            lambda: self._pipeline_block(v_in[:, :, None], cfg, adjoint=adjoint),
+            f"{cfg}[pairwise]",
+        )
+        if out is not None:
+            out[...] = res3[:, :, 0]
+            return out
+        return res3[:, :, 0]
 
     # -- blocked multi-RHS API -------------------------------------------------
     def _check_block(self, V: np.ndarray, nx: int, what: str) -> np.ndarray:

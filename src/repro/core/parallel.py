@@ -49,6 +49,36 @@ reproduces the pre-timeline charge exactly.  **Numerics are identical
 in both modes, bitwise**: the schedule only decides what time costs,
 never what is computed.
 
+A third **host stream** fuses the dense-operator-assembly host routines
+(:class:`~repro.util.timing.HostModel` — generate inputs, save results)
+directly into the chunk schedule: constructed with ``host=...``, each
+chunk's generate gates its broadcast and each save waits on its reduce,
+so host, device and network run fully concurrently and the wall is the
+critical path through all three streams.  ``overlap_host=False`` keeps
+the two-stream schedule and charges the host total serially after the
+final sync — the composition the two-stream model implied (device/net
+schedule + host on top), kept as the baseline the three-stream gain is
+measured against.  ``host=None`` (default) charges no host work at all.
+
+Deterministic reduction (``reduction="pairwise"``)
+--------------------------------------------------
+``reduction="pairwise"`` makes the *entire distributed contraction* one
+fixed binary tree over global parameter (sensor, for the adjoint)
+indices: each rank computes Phase-3 partial panels for the canonical
+tree segments of its slice (:mod:`repro.util.pairwise`), the grid
+reduce merges segments in the frequency domain
+(:meth:`repro.comm.simcomm.SimCommunicator.reduce_segments`), and the
+output part's root rank runs the IFFT/unpad epilogue once on the merged
+panel.  Because every addition — intra-rank and inter-rank — is an edge
+of one tree indexed by *global element position*, the result is
+**bitwise identical for any** ``row_ranges`` / ``col_ranges``
+partition, any ``max_block_k``, and equal to the single-device pairwise
+engine — which lifts the ``min_part=2`` caveat of
+:mod:`repro.comm.balance` (single-element parts are safe).  The fast
+mode's per-rank IFFT + rank-indexed tree reduce is the throughput path;
+pairwise pays a modeled kernel tax and a larger (complex, per-segment)
+reduce payload, benchmarked in ``BENCH_determinism.json``.
+
 Blocked collectives
 -------------------
 Each chunk of at most ``max_block_k`` columns pays **one**
@@ -90,13 +120,16 @@ from repro.util.blocking import (
     validate_max_block_k,
 )
 from repro.util.dtypes import real_dtype
-from repro.util.timing import SimClock, Stream, Timeline, TimingReport
+from repro.util.timing import HostModel, SimClock, Stream, Timeline, TimingReport
 from repro.util.validation import ReproError
 from repro.util.workspace import Workspace
 
 __all__ = ["ParallelFFTMatvec"]
 
 _PHASES = ("pad", "fft", "sbgemv", "ifft", "unpad")
+# Phases a grid-level timing report may carry: the five device phases
+# plus the host stream's generate/save work.
+_REPORT_PHASES = _PHASES + ("host",)
 
 # Per-rank spec inputs the constructor accepts: one spec for the whole
 # grid, a mapping keyed by (row, col), or a pr x pc nested sequence.
@@ -199,6 +232,26 @@ class ParallelFFTMatvec:
         chunk's broadcast on the comm stream while the previous chunk
         computes (double buffering); ``False`` charges the serial
         broadcast → compute → reduce schedule.  Numerics are identical.
+    reduction:
+        ``"fast"`` (default) — vendor accumulation order per rank, tree
+        reduce indexed by rank.  ``"pairwise"`` — the fixed-tree
+        deterministic mode: results are bitwise identical for any grid
+        partition and any ``max_block_k``, and match the single-device
+        pairwise engine (see the module docstring).
+    host:
+        Optional :class:`~repro.util.timing.HostModel` fusing the
+        dense-assembly host routines into the blocked schedule: each
+        chunk charges ``k_chunk * gen_time`` before (and gating) its
+        broadcast and ``k_chunk * save_time`` after its reduce.  With
+        the overlapped schedule these ride a third *host* stream (fully
+        concurrent with comm + compute); with ``overlap=False`` or
+        ``overlap_host=False`` the host total is charged serially on
+        top.  ``None`` charges no host work (the historical behavior).
+    overlap_host:
+        ``False`` restricts overlap to the two-stream comm/compute
+        schedule and charges the host total serially after it — the
+        baseline charge the three-stream fusion is measured against.
+        Ignored when ``host`` is None.
     row_ranges, col_ranges:
         Optional explicit 1-D partitions of the sensor / parameter
         extents (lists of contiguous ``(start, stop)``, one per grid
@@ -228,11 +281,25 @@ class ParallelFFTMatvec:
         use_optimized_sbgemv: bool = True,
         max_block_k: Optional[int] = None,
         overlap: bool = True,
+        reduction: str = "fast",
         row_ranges: Optional[Sequence[Tuple[int, int]]] = None,
         col_ranges: Optional[Sequence[Tuple[int, int]]] = None,
         workspace: Union[None, bool] = None,
         backend: Union[None, str, Backend] = None,
+        host: Optional[HostModel] = None,
+        overlap_host: bool = True,
     ) -> None:
+        if reduction not in ("fast", "pairwise"):
+            raise ReproError(
+                f"reduction must be 'fast' or 'pairwise', got {reduction!r}"
+            )
+        self.reduction = reduction
+        if host is not None and not isinstance(host, HostModel):
+            raise ReproError(
+                f"host must be a HostModel (or None), got {type(host).__name__}"
+            )
+        self.host = host
+        self.overlap_host = bool(overlap_host)
         self.backend = resolve_backend(backend)
         self.matrix = (
             matrix
@@ -298,6 +365,7 @@ class ParallelFFTMatvec:
                     use_optimized_sbgemv=use_optimized_sbgemv,
                     workspace=use_workspace,
                     backend=self.backend,
+                    reduction=reduction,
                 )
         # Grid-level arena: broadcast payload staging, per-rank receive
         # buffers and float64 input staging shared by the chunk loop and
@@ -363,8 +431,11 @@ class ParallelFFTMatvec:
         Extends :meth:`FFTMatvec.geometry_key` with the grid extents:
         process-grid shape and the exact row/column partitions (two
         engines with equal keys run identical per-rank shapes and
-        collectives).  ``config`` folds a precision configuration in,
-        as on the single-device engine.
+        collectives).  The reduction mode is part of the key — a
+        fast-mode and a pairwise-mode grid must never be conflated (the
+        serving cache keys engines and coalesced batches on this).
+        ``config`` folds a precision configuration in, as on the
+        single-device engine.
         """
         specs = tuple(
             (rc, s.name if s is not None else None)
@@ -380,6 +451,7 @@ class ParallelFFTMatvec:
             tuple(self._row_ranges),
             tuple(self._col_ranges),
             specs,
+            self.reduction,
             str(PrecisionConfig.parse(config)) if config is not None else None,
         )
 
@@ -474,7 +546,7 @@ class ParallelFFTMatvec:
         return self.grid.row_comm(0) if r == self._timed_row_idx else self._silent_row
 
     def _snapshot(self) -> Dict[str, float]:
-        return {p: self.grid.clock.phase_total(p) for p in _PHASES}
+        return {p: self.grid.clock.phase_total(p) for p in _REPORT_PHASES}
 
     def _record(
         self, before: Dict[str, float], label: str, wall: Optional[float] = None
@@ -483,7 +555,7 @@ class ParallelFFTMatvec:
         self.last_timing = TimingReport(
             phases={
                 p: clock.phase_total(p) - before[p]
-                for p in _PHASES
+                for p in _REPORT_PHASES
                 if clock.phase_total(p) - before[p] > 0
             },
             label=label,
@@ -539,8 +611,16 @@ class ParallelFFTMatvec:
 
         A single matvec cannot overlap (phases 2–4 depend on the Phase-1
         broadcast), so the serial schedule applies; compute is charged as
-        the max over ranks.
+        the max over ranks.  In pairwise mode the vector rides the
+        width-1 blocked path — the same fixed contraction tree a wide
+        panel's columns see, which is what makes blocked == looped
+        bitwise.
         """
+        if self.reduction == "pairwise":
+            mm = self.matrix.check_input(m).astype(np.float64, copy=False)
+            return self._matmat_impl(
+                mm[:, :, None], config, None, adjoint=False, overlap=False
+            )[:, :, 0]
         cfg = PrecisionConfig.parse(config)
         mm = self.matrix.check_input(m).astype(np.float64, copy=False)
         before = self._snapshot()
@@ -592,6 +672,11 @@ class ParallelFFTMatvec:
         self, d: np.ndarray, config: Union[str, PrecisionConfig] = "ddddd"
     ) -> np.ndarray:
         """Compute ``m = F* d`` across the grid; returns the global (Nt, Nm)."""
+        if self.reduction == "pairwise":
+            dd = self.matrix.check_output(d).astype(np.float64, copy=False)
+            return self._matmat_impl(
+                dd[:, :, None], config, None, adjoint=True, overlap=False
+            )[:, :, 0]
         cfg = PrecisionConfig.parse(config)
         dd = self.matrix.check_output(d).astype(np.float64, copy=False)
         before = self._snapshot()
@@ -745,6 +830,83 @@ class ParallelFFTMatvec:
                 )
             out[:, o0:o1, :] = self.backend.from_device(reduced)
 
+    def _chunk_compute_pairwise(
+        self,
+        in_blocks: Dict[int, np.ndarray],
+        cfg: PrecisionConfig,
+        adjoint: bool,
+        stream: Optional[Stream],
+    ) -> Dict[Tuple[int, int], Dict[Tuple[int, int], np.ndarray]]:
+        """Pairwise front half for one chunk: every rank runs pad / FFT /
+        reorder and computes Phase-3 partial panels for the canonical
+        tree segments of its *global* contraction range.  No IFFT/unpad
+        here — the epilogue runs once per output part after the
+        frequency-domain segment reduce.  Max-rank time is charged onto
+        ``stream`` (or the grid clock)."""
+        in_ranges = self._row_ranges if adjoint else self._col_ranges
+        n_global = self.nd if adjoint else self.nm
+        tables, compute = self._rank_compute(
+            lambda r, c, engine: engine._pipeline_block_pairwise_segments(
+                in_blocks[r if adjoint else c],
+                cfg,
+                adjoint=adjoint,
+                start=in_ranges[r if adjoint else c][0],
+                n_global=n_global,
+            )
+        )
+        self._charge_compute(compute, stream=stream)
+        return tables
+
+    def _chunk_reduce_pairwise(
+        self,
+        tables: Dict[Tuple[int, int], Dict[Tuple[int, int], np.ndarray]],
+        out: np.ndarray,
+        cfg: PrecisionConfig,
+        adjoint: bool,
+        stream: Optional[Stream],
+    ) -> None:
+        """Pairwise Phase 5 for one chunk: ONE frequency-domain segment
+        reduce per grid row (column for the adjoint) merges every rank's
+        canonical-segment panels through the fixed tree, then the output
+        part's root rank runs the IFFT/unpad epilogue once on the merged
+        panel.  All root epilogues run concurrently on distinct devices,
+        so the max is charged (onto ``stream``, where it overlaps the
+        next chunk's front compute like a second device queue)."""
+        out_ranges = self._col_ranges if adjoint else self._row_ranges
+        out_comm = self._timed_col if adjoint else self._timed_row
+        n_out = self.grid.pc if adjoint else self.grid.pr
+        n_global = self.nd if adjoint else self.nm
+        slowest: Optional[Tuple[float, Dict[str, float]]] = None
+        for o in range(n_out):
+            o0, o1 = out_ranges[o]
+            if adjoint:
+                contribs = [tables[(r, o)] for r in range(self.grid.pr)]
+                root_rc = (0, o)
+            else:
+                contribs = [tables[(o, c)] for c in range(self.grid.pc)]
+                root_rc = (o, 0)
+            cobj = out_comm(o)
+            with cobj.on_stream(stream if cobj.clock is not None else None):
+                merged = cobj.reduce_segments(
+                    contribs, n_global, root=0, phase="unpad",
+                    backend=self.backend,
+                )
+            engine = self.engines[root_rc]
+            dev = self.devices[root_rc]
+            if dev is not None:
+                before = {p: dev.clock.phase_total(p) for p in _PHASES}
+            res = engine._pipeline_block_finish(merged, cfg, adjoint=adjoint)
+            if dev is not None:
+                deltas = {
+                    p: dev.clock.phase_total(p) - before[p] for p in _PHASES
+                }
+                total = sum(deltas.values())
+                if slowest is None or total > slowest[0]:
+                    slowest = (total, deltas)
+            out[:, o0:o1, :] = res
+        if slowest is not None:
+            self._charge_compute(slowest[1], stream=stream)
+
     def _matmat_serial(
         self,
         VV: np.ndarray,
@@ -756,11 +918,20 @@ class ParallelFFTMatvec:
     ) -> None:
         """Serial charge: broadcast → compute → reduce per chunk, in
         program order on the grid clock (the pre-timeline model)."""
+        pairwise = self.reduction == "pairwise"
         for i, (j0, j1) in enumerate(ranges):
             chunk = VV[:, :, j0:j1]
             in_blocks, _ = self._chunk_bcast(
                 chunk, cfg, adjoint, stream=None, slot=i % 2
             )
+            if pairwise:
+                tables = self._chunk_compute_pairwise(
+                    in_blocks, cfg, adjoint, stream=None
+                )
+                self._chunk_reduce_pairwise(
+                    tables, out[:, :, j0:j1], cfg, adjoint, stream=None
+                )
+                continue
             partials = self._chunk_compute(
                 in_blocks, cfg, adjoint, stream=None, deterministic=deterministic
             )
@@ -776,6 +947,8 @@ class ParallelFFTMatvec:
         cfg: PrecisionConfig,
         adjoint: bool,
         deterministic: bool = False,
+        host: Optional[HostModel] = None,
+        overlap_host: bool = True,
     ) -> None:
         """Double-buffered chunk schedule on the event timeline.
 
@@ -785,12 +958,35 @@ class ParallelFFTMatvec:
         compute event.  Compute stream: chunk i waits on bcast(i)'s
         event.  Wall time (realized at the final sync) is the critical
         path; the numerics are identical to the serial schedule.
+
+        With a fused ``host`` model a third stream carries the
+        dense-assembly host routines: chunk i's generate
+        (``k_i * gen_time``) is charged before — and its event gates —
+        chunk i's broadcast, and chunk i's save (``k_i * save_time``)
+        waits on chunk i's reduce event.  The host stream is in order,
+        so generate(i+1) precedes save(i) (the classic double-buffer
+        slot) and save(i) precedes generate(i+2) — two buffers, neither
+        side runs further ahead.  Host, device and network are then
+        fully concurrent; the wall is the max of the three streams'
+        critical paths.  ``overlap_host=False`` callers run this
+        two-stream schedule unchanged and charge the host total
+        serially afterwards (see :meth:`_matmat_impl`).
         """
+        pairwise = self.reduction == "pairwise"
         tl = Timeline(self.grid.clock)
         comm_s = tl.stream("comm")
         comp_s = tl.stream("compute")
+        host_s = (
+            tl.stream("host") if host is not None and overlap_host else None
+        )
+        widths = [j1 - j0 for j0, j1 in ranges]
         exposed = self.grid.net.exposed_fraction()
 
+        if host_s is not None:
+            # Prologue: generate chunk 0's inputs; the broadcast cannot
+            # leave before the host has produced them.
+            host_s.charge(widths[0] * host.gen_time, phase="host")
+            comm_s.wait(host_s.record("gen[0]"))
         in_blocks, _ = self._chunk_bcast(
             VV[:, :, ranges[0][0] : ranges[0][1]], cfg, adjoint, stream=comm_s, slot=0
         )
@@ -802,11 +998,22 @@ class ParallelFFTMatvec:
                 # Imperfect overlap: the previous chunk's reduce steals
                 # link/engine bandwidth from this chunk's compute.
                 comp_s.charge(reduce_tax, phase="unpad")
-            partials = self._chunk_compute(
-                in_blocks, cfg, adjoint, stream=comp_s, deterministic=deterministic
-            )
+            if pairwise:
+                partials = self._chunk_compute_pairwise(
+                    in_blocks, cfg, adjoint, stream=comp_s
+                )
+            else:
+                partials = self._chunk_compute(
+                    in_blocks, cfg, adjoint, stream=comp_s,
+                    deterministic=deterministic,
+                )
             if i + 1 < len(ranges):
                 n0, n1 = ranges[i + 1]
+                if host_s is not None:
+                    # Generate chunk i+1 while chunk i computes; the
+                    # prefetched broadcast waits on it.
+                    host_s.charge(widths[i + 1] * host.gen_time, phase="host")
+                    comm_s.wait(host_s.record(f"gen[{i + 1}]"))
                 # Prefetch into the other ping-pong slot: chunk i's
                 # payload buffers stay live while chunk i+1's broadcast
                 # is in flight, exactly as on the real machine.
@@ -820,13 +1027,23 @@ class ParallelFFTMatvec:
             ev_compute = comp_s.record(f"compute[{i}]")
             comm_s.wait(ev_compute)
             c0 = comm_s.cursor
-            self._chunk_reduce(
-                partials, out[:, :, j0:j1], cfg, adjoint, stream=comm_s
-            )
+            if pairwise:
+                self._chunk_reduce_pairwise(
+                    partials, out[:, :, j0:j1], cfg, adjoint, stream=comm_s
+                )
+            else:
+                self._chunk_reduce(
+                    partials, out[:, :, j0:j1], cfg, adjoint, stream=comm_s
+                )
             # This reduce overlaps the *next* chunk's compute (if any).
             reduce_tax = (
                 exposed * (comm_s.cursor - c0) if i + 1 < len(ranges) else 0.0
             )
+            if host_s is not None:
+                # Save chunk i's results once its reduce has delivered
+                # them; overlaps chunk i+1's compute and collectives.
+                host_s.wait(comm_s.record(f"reduce[{i}]"))
+                host_s.charge(widths[i] * host.save_time, phase="host")
         tl.sync()
 
     def _matmat_impl(
@@ -838,6 +1055,7 @@ class ParallelFFTMatvec:
         overlap: Optional[bool],
         out: Optional[np.ndarray] = None,
         deterministic: bool = False,
+        overlap_host: Optional[bool] = None,
     ) -> np.ndarray:
         cfg = PrecisionConfig.parse(config)
         nx = self.nd if adjoint else self.nm
@@ -849,6 +1067,10 @@ class ParallelFFTMatvec:
             max_block_k = validate_max_block_k(max_block_k)
         ranges = chunk_ranges(k, max_block_k)
         use_overlap = self.overlap if overlap is None else bool(overlap)
+        host = self.host
+        fuse_host = (
+            self.overlap_host if overlap_host is None else bool(overlap_host)
+        )
 
         before = self._snapshot()
         t_start = self.grid.clock.now
@@ -859,18 +1081,28 @@ class ParallelFFTMatvec:
         with _apply_scope(self.workspace):
             if use_overlap:
                 self._matmat_overlapped(
-                    VV, out, ranges, cfg, adjoint, deterministic=deterministic
+                    VV, out, ranges, cfg, adjoint, deterministic=deterministic,
+                    host=host, overlap_host=fuse_host,
                 )
             else:
                 self._matmat_serial(
                     VV, out, ranges, cfg, adjoint, deterministic=deterministic
                 )
+            if host is not None and not (use_overlap and fuse_host):
+                # Unfused host charge: the generate/save total rides
+                # serially on top of the device/network schedule — the
+                # two-stream baseline the three-stream fusion beats.
+                with self.grid.clock.phase("host"):
+                    self.grid.clock.advance(k * host.per_vector)
         name = "F*" if adjoint else "F"
         sched = "overlap" if use_overlap else "serial"
+        if host is not None:
+            sched += "+host3" if use_overlap and fuse_host else "+host"
         self._record(
             before,
             f"{cfg} {name}[k={k}/{len(ranges)} chunk(s), {sched}"
-            f"{', det' if deterministic else ''}] "
+            f"{', det' if deterministic else ''}"
+            f"{', pairwise' if self.reduction == 'pairwise' else ''}] "
             f"({self.grid.pr}x{self.grid.pc})",
             wall=self.grid.clock.now - t_start,
         )
@@ -886,6 +1118,7 @@ class ParallelFFTMatvec:
         overlap: Optional[bool] = None,
         out: Optional[np.ndarray] = None,
         deterministic: bool = False,
+        overlap_host: Optional[bool] = None,
     ) -> np.ndarray:
         """Compute ``D = F M`` for k parameter vectors across the grid.
 
@@ -908,10 +1141,17 @@ class ParallelFFTMatvec:
         **bitwise** ``matvec(M[:, :, j])`` (see
         :meth:`FFTMatvec.matmat`); the elementwise tree-reduce already
         preserves per-column bits, so the guarantee survives the grid.
+        With ``reduction="pairwise"`` that per-column guarantee holds
+        unconditionally *and* the result is bitwise-invariant to the
+        grid partition and chunking (``deterministic`` is then
+        redundant and ignored).  A constructor-fused ``host`` model
+        charges each chunk's generate/save on the third stream;
+        ``overlap_host`` (None = constructor default) selects fused vs
+        serial host charging per call.
         """
         return self._matmat_impl(
             M, config, max_block_k, adjoint=False, overlap=overlap, out=out,
-            deterministic=deterministic,
+            deterministic=deterministic, overlap_host=overlap_host,
         )
 
     def rmatmat(
@@ -922,15 +1162,17 @@ class ParallelFFTMatvec:
         overlap: Optional[bool] = None,
         out: Optional[np.ndarray] = None,
         deterministic: bool = False,
+        overlap_host: Optional[bool] = None,
     ) -> np.ndarray:
         """Compute ``M = F* D`` for k data vectors across the grid.
 
         The blocked adjoint: one row-broadcast and one column-reduce per
         chunk (the column reduce crosses machine groups, so hiding its
         latency behind compute matters most).  See :meth:`matmat`,
-        including the ``deterministic`` bitwise guarantee.
+        including the ``deterministic`` / ``reduction="pairwise"``
+        bitwise guarantees and the fused ``host`` stream.
         """
         return self._matmat_impl(
             D, config, max_block_k, adjoint=True, overlap=overlap, out=out,
-            deterministic=deterministic,
+            deterministic=deterministic, overlap_host=overlap_host,
         )

@@ -36,6 +36,12 @@ the device side shrinks by the blocked speedup while the host side is
 unchanged, so blocking pushes device-bound batches toward (and
 sometimes across) the host-bound regime where the overlap hides
 everything but the chunk prologue/epilogue.
+
+On the multi-GPU grid the same :class:`~repro.util.timing.HostModel`
+fuses directly into the chunk schedule:
+``ParallelFFTMatvec(host=...)`` runs a third *host* stream alongside
+the comm and compute streams, so generate/save overlap the collectives
+too — see :mod:`repro.core.parallel`.
 """
 
 from __future__ import annotations
@@ -48,35 +54,18 @@ import numpy as np
 from repro.core.matvec import FFTMatvec
 from repro.core.precision import PrecisionConfig
 from repro.util.blocking import chunk_ranges, validate_max_block_k
-from repro.util.timing import Timeline
+from repro.util.timing import HostModel, Timeline
 from repro.util.validation import ReproError
 
+# HostModel lives in repro.util.timing (the grid engine's fused
+# three-stream schedule uses it too); re-exported here for the original
+# import path.
 __all__ = [
     "HostModel",
     "PipelineReport",
     "BlockedPipelineReport",
     "OverlappedMatvecRunner",
 ]
-
-
-@dataclass(frozen=True)
-class HostModel:
-    """Host-side costs per vector (seconds).
-
-    ``gen_time`` covers producing the next input (RNG / reading a unit
-    vector / disk read); ``save_time`` covers writing the result.
-    """
-
-    gen_time: float = 50e-6
-    save_time: float = 100e-6
-
-    def __post_init__(self) -> None:
-        if self.gen_time < 0 or self.save_time < 0:
-            raise ReproError("host times must be non-negative")
-
-    @property
-    def per_vector(self) -> float:
-        return self.gen_time + self.save_time
 
 
 @dataclass

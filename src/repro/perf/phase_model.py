@@ -13,15 +13,19 @@ the grid engine's double-buffered schedule (prefetch chunk ``i+1``'s
 broadcast behind chunk ``i``'s compute, reduce behind chunk ``i+1``'s
 compute) on the same :class:`~repro.util.timing.Timeline` machinery the
 engine charges with, so analytic predictions and charged times cannot
-drift apart.
+drift apart.  With per-chunk host costs (``chunk_gen`` / ``chunk_save``)
+it replays the *three*-stream fused schedule — host generation gating
+each broadcast, host save trailing each reduce — and reports the fused
+wall next to the two-stream-plus-serial-host baseline.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.blas.dispatch import SBGEMVDispatcher
+from repro.blas.gemm_kernels import PairwiseSBGEMM
 from repro.blas.gemv_kernels import RocblasSBGEMV
 from repro.blas.types import BlasDatatype, GemmProblem, GemvProblem, Operation
 from repro.core.precision import PrecisionConfig
@@ -46,6 +50,9 @@ def overlapped_chunk_schedule(
     chunk_compute: Sequence[float],
     chunk_reduce: Sequence[float],
     overlap_efficiency: float = 1.0,
+    chunk_gen: Optional[Sequence[float]] = None,
+    chunk_save: Optional[Sequence[float]] = None,
+    overlap_host: bool = True,
 ) -> Dict[str, float]:
     """Wall times of the serial vs double-buffered grid chunk schedule.
 
@@ -58,43 +65,96 @@ def overlapped_chunk_schedule(
     compute stream (link contention), so at efficiency 0 the schedule
     converges back to the serial charge.  Returns ``{"serial",
     "overlapped", "hidden"}`` — ``hidden`` is the saving.
+
+    ``chunk_gen`` / ``chunk_save`` add the host stream of the
+    three-stream fused schedule (source generation before each chunk's
+    broadcast, result saving after its reduce).  The result then also
+    carries ``{"serial3", "two_stream_host", "overlapped3",
+    "hidden_host"}``: the all-serial wall, the two-stream schedule with
+    the host work charged serially after it (the engine's
+    ``overlap_host=False``), the fused three-stream wall replayed with
+    the same dependency edges the engine records — ``gen(i)`` gates
+    ``bcast(i)``, ``save(i)`` waits on ``reduce(i)``, host in order —
+    and their difference.  Without host costs the extra keys degenerate
+    (``serial3 == serial``, ``two_stream_host == overlapped3 ==
+    overlapped``, ``hidden_host == 0``) so callers can read one schema
+    unconditionally; the first three keys are unchanged either way.
     """
     n = len(chunk_compute)
     if not (n == len(chunk_bcast) == len(chunk_reduce)):
         raise ReproError(
             "chunk_bcast, chunk_compute and chunk_reduce must have equal length"
         )
+    host_present = chunk_gen is not None or chunk_save is not None
+    gen = list(chunk_gen) if chunk_gen is not None else [0.0] * n
+    save = list(chunk_save) if chunk_save is not None else [0.0] * n
+    if len(gen) != n or len(save) != n:
+        raise ReproError(
+            "chunk_gen and chunk_save must match the chunk count when given"
+        )
     if n == 0:
-        return {"serial": 0.0, "overlapped": 0.0, "hidden": 0.0}
+        return {
+            "serial": 0.0,
+            "overlapped": 0.0,
+            "hidden": 0.0,
+            "serial3": 0.0,
+            "two_stream_host": 0.0,
+            "overlapped3": 0.0,
+            "hidden_host": 0.0,
+        }
     exposed = max(0.0, min(1.0, 1.0 - overlap_efficiency))
-    tl = Timeline()
-    comm = tl.stream("comm")
-    comp = tl.stream("compute")
-    comm.charge(chunk_bcast[0])
-    ev_bcast = comm.record()
-    reduce_tax = 0.0  # exposed share of the previous chunk's reduce
-    for i in range(n):
-        comp.wait(ev_bcast)
-        if reduce_tax > 0.0:
-            comp.charge(reduce_tax)
-        comp.charge(chunk_compute[i])
-        if i + 1 < n:
-            comm.charge(chunk_bcast[i + 1])
-            ev_bcast = comm.record()
-            if exposed > 0.0:
-                comp.charge(exposed * chunk_bcast[i + 1])
-        ev_compute = comp.record()
-        comm.wait(ev_compute)
-        comm.charge(chunk_reduce[i])
-        reduce_tax = exposed * chunk_reduce[i] if i + 1 < n else 0.0
-    overlapped = tl.sync()
+
+    def replay(with_host: bool) -> float:
+        tl = Timeline()
+        comm = tl.stream("comm")
+        comp = tl.stream("compute")
+        host = tl.stream("host") if with_host else None
+        if host is not None:
+            host.charge(gen[0])
+            comm.wait(host.record())
+        comm.charge(chunk_bcast[0])
+        ev_bcast = comm.record()
+        reduce_tax = 0.0  # exposed share of the previous chunk's reduce
+        for i in range(n):
+            comp.wait(ev_bcast)
+            if reduce_tax > 0.0:
+                comp.charge(reduce_tax)
+            comp.charge(chunk_compute[i])
+            if i + 1 < n:
+                if host is not None:
+                    host.charge(gen[i + 1])
+                    comm.wait(host.record())
+                comm.charge(chunk_bcast[i + 1])
+                ev_bcast = comm.record()
+                if exposed > 0.0:
+                    comp.charge(exposed * chunk_bcast[i + 1])
+            ev_compute = comp.record()
+            comm.wait(ev_compute)
+            comm.charge(chunk_reduce[i])
+            if host is not None:
+                host.wait(comm.record())
+                host.charge(save[i])
+            reduce_tax = exposed * chunk_reduce[i] if i + 1 < n else 0.0
+        return tl.sync()
+
+    overlapped = replay(with_host=False)
     serial = float(
         sum(chunk_bcast) + sum(chunk_compute) + sum(chunk_reduce)
     )
+    host_total = float(sum(gen) + sum(save))
+    two_stream_host = overlapped + host_total
+    if host_present and overlap_host:
+        overlapped3 = replay(with_host=True)
+    else:
+        overlapped3 = two_stream_host
     return {
         "serial": serial,
         "overlapped": overlapped,
         "hidden": serial - overlapped,
+        "serial3": serial + host_total,
+        "two_stream_host": two_stream_host,
+        "overlapped3": overlapped3,
+        "hidden_host": two_stream_host - overlapped3,
     }
 
 
@@ -127,6 +187,7 @@ def phase_times(
     spec: GPUSpec,
     adjoint: bool = False,
     use_optimized_sbgemv: bool = True,
+    reduction: str = "fast",
 ) -> Dict[str, float]:
     """Modeled seconds per phase of one local matvec (no communication).
 
@@ -149,6 +210,7 @@ def phase_times(
         spec,
         adjoint=adjoint,
         use_optimized_sbgemv=use_optimized_sbgemv,
+        reduction=reduction,
     )
 
 
@@ -161,6 +223,7 @@ def block_phase_times(
     spec: GPUSpec,
     adjoint: bool = False,
     use_optimized_sbgemv: bool = True,
+    reduction: str = "fast",
 ) -> Dict[str, float]:
     """Modeled seconds per phase of one blocked ``k``-RHS pipeline pass.
 
@@ -175,11 +238,22 @@ def block_phase_times(
     see that.  ``k=1`` degenerates to the GEMV dispatch, exactly like
     the engine.  A consistency test pins every phase to the engine's
     charge at ``rel=1e-6``.
+
+    ``reduction="pairwise"`` models the deterministic fixed-tree
+    contraction exactly like the engine dispatches it: the Phase-3
+    kernel is the :class:`~repro.blas.gemm_kernels.PairwiseSBGEMM`
+    wrapper (its determinism tax scales the inner kernel's efficiency),
+    and ``k == 1`` does *not* degenerate to the GEMV entry point —
+    pairwise single vectors run through the width-1 blocked path.
     """
     check_positive_int(nm, "nm")
     check_positive_int(nd, "nd")
     check_positive_int(nt, "nt")
     check_positive_int(k, "k")
+    if reduction not in ("fast", "pairwise"):
+        raise ReproError(
+            f"reduction must be 'fast' or 'pairwise', got {reduction!r}"
+        )
     cfg = PrecisionConfig.parse(config)
     n_pad = 2 * nt
     n_freq = nt + 1
@@ -213,9 +287,10 @@ def block_phase_times(
     )
     operation = Operation.C if adjoint else Operation.N
     dispatcher = SBGEMVDispatcher(spec)
-    if k == 1:
+    if k == 1 and reduction == "fast":
         # The dispatcher degenerates a single-column block to the GEMV
-        # entry point; model the same dispatch.
+        # entry point; model the same dispatch.  (Pairwise mode skips
+        # the degeneration — exactly like `gemm_strided_batched`.)
         gemv = GemvProblem(
             m=nd, n=nm, batch=n_freq, datatype=datatype, operation=operation
         )
@@ -228,9 +303,12 @@ def block_phase_times(
             m=nd, n=nm, k=k, batch=n_freq, datatype=datatype, operation=operation
         )
         if use_optimized_sbgemv:
-            kernel_t = dispatcher.select_gemm(problem).modeled_time(problem, spec)
+            kernel = dispatcher.select_gemm(problem, reduction=reduction)
+        elif reduction == "pairwise":
+            kernel = PairwiseSBGEMM(dispatcher.rocblas_gemm)
         else:
-            kernel_t = dispatcher.rocblas_gemm.modeled_time(problem, spec)
+            kernel = dispatcher.rocblas_gemm
+        kernel_t = kernel.modeled_time(problem, spec)
     t3 += kernel_t + spec.launch_overhead
     t3 += _reorder_time(n_freq * nx_out, c_sb, c_lo_out, spec)
     times["sbgemv"] = t3
@@ -256,6 +334,7 @@ def modeled_timing(
     spec: GPUSpec,
     adjoint: bool = False,
     use_optimized_sbgemv: bool = True,
+    reduction: str = "fast",
 ) -> TimingReport:
     """Phase times wrapped in a :class:`TimingReport`."""
     cfg = PrecisionConfig.parse(config)
@@ -269,6 +348,7 @@ def modeled_timing(
             spec,
             adjoint=adjoint,
             use_optimized_sbgemv=use_optimized_sbgemv,
+            reduction=reduction,
         ),
         label=f"{cfg} {direction} {spec.name}",
     )

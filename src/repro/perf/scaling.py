@@ -29,7 +29,7 @@ from repro.comm.collectives import tree_collective_time
 from repro.comm.netmodel import FRONTIER_NETWORK, NetworkModel
 from repro.comm.partition import published_frontier_rows
 from repro.core.precision import PrecisionConfig
-from repro.gpu.specs import GPUSpec, MI250X_GCD
+from repro.gpu.specs import GPUSpec, MI250X_GCD, get_gpu
 from repro.perf.phase_model import (
     block_phase_times,
     overlapped_chunk_schedule,
@@ -37,12 +37,14 @@ from repro.perf.phase_model import (
 )
 from repro.util.blocking import chunk_ranges
 from repro.util.dtypes import real_dtype
+from repro.util.timing import HostModel
 from repro.util.validation import ReproError, check_positive_int
 
 __all__ = [
     "ScalingPoint",
     "matvec_time_at_scale",
     "blocked_matvec_time_at_scale",
+    "mixed_fleet_times",
     "scaling_sweep",
     "paper_config_for",
 ]
@@ -145,6 +147,8 @@ def blocked_matvec_time_at_scale(
     spec: GPUSpec = MI250X_GCD,
     net: NetworkModel = FRONTIER_NETWORK,
     adjoint: bool = False,
+    host: Optional[HostModel] = None,
+    overlap_host: bool = True,
 ) -> dict:
     """Modeled seconds of a blocked k-RHS distributed matmat; breakdown.
 
@@ -182,6 +186,17 @@ def blocked_matvec_time_at_scale(
     recovers the ceil-balanced split, so the balanced keys coincide
     with a ``skew=0`` run — *measured* recovery on a real engine is
     what ``benchmarks/test_balance_grid.py`` scores).
+
+    ``host`` adds the third stream: a :class:`~repro.util.timing.HostModel`
+    charges per-chunk source generation / result saving, and the fused
+    schedule (``overlap_host=True``) runs it concurrently with device
+    compute and network — ``gen(i)`` gates ``bcast(i)``, ``save(i)``
+    trails ``reduce(i)``, the replay of
+    ``ParallelFFTMatvec(host=...)``.  The result then also carries
+    ``two_stream_host`` (host charged serially after the two-stream
+    schedule — the engine's ``overlap_host=False``), ``overlapped3``
+    (the fused wall), ``hidden_host``, and ``per_vector_overlap3``;
+    without a host model those keys degenerate to the two-stream values.
     """
     check_positive_int(k, "k")
     if skew < 0:
@@ -216,6 +231,13 @@ def blocked_matvec_time_at_scale(
             chunk_compute,
             chunk_reduce,
             overlap_efficiency=net.overlap_efficiency,
+            chunk_gen=(
+                [kc * host.gen_time for kc in widths] if host is not None else None
+            ),
+            chunk_save=(
+                [kc * host.save_time for kc in widths] if host is not None else None
+            ),
+            overlap_host=overlap_host,
         )
         sched["n_chunks"] = len(widths)
         sched["compute"] = chunk_compute[0]
@@ -262,6 +284,195 @@ def blocked_matvec_time_at_scale(
         "reduce": sched["reduce"],
         "total_balanced": sched_bal["overlapped"],
         "per_vector_balanced": sched_bal["overlapped"] / k,
+        "two_stream_host": sched["two_stream_host"],
+        "overlapped3": sched["overlapped3"],
+        "hidden_host": sched["hidden_host"],
+        "per_vector_overlap3": sched["overlapped3"] / k,
+    }
+
+
+def _fleet_column_specs(pc: int, mix: Sequence) -> list:
+    """Resolve a ``[(spec_or_name, fraction), ...]`` mix to per-column specs.
+
+    Columns are assigned to spec groups contiguously by cumulative
+    fraction (rounded, every group keeps at least one column) — the
+    column-banded fleet a site gets when it extends a homogeneous
+    machine with a newer partition.
+    """
+    if not mix:
+        raise ReproError("mix must be non-empty")
+    specs, fracs = [], []
+    for entry in mix:
+        spec, frac = entry
+        specs.append(get_gpu(spec) if isinstance(spec, str) else spec)
+        f = float(frac)
+        if f <= 0:
+            raise ReproError(f"mix fraction must be > 0, got {f}")
+        fracs.append(f)
+    total = sum(fracs)
+    if abs(total - 1.0) > 1e-6:
+        raise ReproError(f"mix fractions must sum to 1, got {total}")
+    if len(specs) > pc:
+        raise ReproError(
+            f"mix has {len(specs)} groups but the grid only has {pc} columns"
+        )
+    bounds = [0]
+    cum = 0.0
+    for f in fracs:
+        cum += f
+        bounds.append(int(round(cum * pc)))
+    for i in range(1, len(bounds)):
+        bounds[i] = max(bounds[i], bounds[i - 1] + 1)
+    bounds[-1] = pc
+    if any(b1 <= b0 for b0, b1 in zip(bounds, bounds[1:])):
+        raise ReproError(f"mix fractions leave a group without columns: {mix}")
+    col_specs = []
+    for g, spec in enumerate(specs):
+        col_specs.extend([spec] * (bounds[g + 1] - bounds[g]))
+    return col_specs
+
+
+def mixed_fleet_times(
+    p: int,
+    pr: int,
+    config: Union[str, PrecisionConfig],
+    mix: Sequence,
+    k: int = 16,
+    max_block_k: Optional[int] = None,
+    nm_per_gpu: int = 5000,
+    nd: int = 100,
+    nt: int = 1000,
+    net: NetworkModel = FRONTIER_NETWORK,
+    adjoint: bool = False,
+) -> dict:
+    """Heterogeneous-fleet column of the at-scale model.
+
+    ``mix`` is ``[(spec_or_name, fraction), ...]``: the grid's ``pc``
+    columns split into contiguous spec groups by fraction, so every rank
+    in a column band owns the same device (the usual way a site mixes
+    generations).  Two partitions are modeled:
+
+    * **naive** — the even ceil split a homogeneous launcher would use;
+      every chunk's compute is gated by the slowest device holding a
+      full-size column block, so the whole fleet runs at the worst
+      device's pace;
+    * **balanced** — ``col_ranges`` searched by
+      :func:`~repro.comm.balance.balance_extents` on per-column cost
+      slopes measured from the blocked phase model itself (seconds per
+      owned parameter, finite-differenced at two extents so per-launch
+      constants drop out) *plus* the broadcast slope: the chunk
+      broadcast is gated by the largest column payload, so a search
+      that ignored comm would fatten the fast columns past the point
+      where the broadcast they gate eats the compute win.  When even
+      the comm-aware search cannot beat the naive wall (broadcast-bound
+      scales), the naive split is kept and ``speedup`` is 1.0.
+
+    Each wall runs the double-buffered chunk schedule with per-chunk
+    compute the max over columns of the blocked phase model on that
+    column's spec and extent.  Returns ``naive`` / ``balanced`` walls,
+    their ``per_vector_*`` forms, ``speedup`` (naive over balanced —
+    the Figure-4 mixed-fleet column), the searched ``extents`` and the
+    resolved ``groups`` as ``(spec name, column count)`` pairs.
+    """
+    check_positive_int(k, "k")
+    cfg = PrecisionConfig.parse(config)
+    pc, _, nd_local = _local_extents(p, pr, nm_per_gpu, nd)
+    nm_global = nm_per_gpu * p
+    col_specs = _fleet_column_specs(pc, mix)
+
+    def wall_for(extents) -> float:
+        lengths = [stop - start for start, stop in extents]
+        nm_max = max(lengths)
+        widths = [j1 - j0 for j0, j1 in chunk_ranges(k, max_block_k)]
+        cb, cc, cr = [], [], []
+        for kc in widths:
+            t_bcast, t_reduce = _grid_collective_times(
+                cfg, nm_max, nd_local, nt, pr, pc, net, adjoint, kc=kc
+            )
+            cb.append(t_bcast)
+            cr.append(t_reduce)
+            cc.append(
+                max(
+                    sum(
+                        block_phase_times(
+                            ln, nd_local, nt, kc, cfg, sp, adjoint=adjoint
+                        ).values()
+                    )
+                    for ln, sp in zip(lengths, col_specs)
+                )
+            )
+        return overlapped_chunk_schedule(
+            cb, cc, cr, overlap_efficiency=net.overlap_efficiency
+        )["overlapped"]
+
+    base, rem = divmod(nm_global, pc)
+    naive_lengths = [base + (1 if c < rem else 0) for c in range(pc)]
+    naive_extents, start = [], 0
+    for ln in naive_lengths:
+        naive_extents.append((start, start + ln))
+        start += ln
+
+    widths = [j1 - j0 for j0, j1 in chunk_ranges(k, max_block_k)]
+
+    def compute_seconds(ln: int, sp: GPUSpec) -> float:
+        return sum(
+            sum(
+                block_phase_times(
+                    ln, nd_local, nt, kc, cfg, sp, adjoint=adjoint
+                ).values()
+            )
+            for kc in widths
+        )
+
+    def bcast_seconds(ln: int) -> float:
+        return sum(
+            _grid_collective_times(
+                cfg, ln, nd_local, nt, pr, pc, net, adjoint, kc=kc
+            )[0]
+            for kc in widths
+        )
+
+    # Per-element slopes, finite-differenced so per-launch constants
+    # cancel (the affine trick of repro.comm.balance applied to the
+    # model itself); one slope pair per distinct spec.
+    n_hi, n_lo = base + (1 if rem else 0), max(1, base // 2)
+    comm_slope = (bcast_seconds(n_hi) - bcast_seconds(n_lo)) / (n_hi - n_lo)
+    spec_slope = {}
+    for sp in col_specs:
+        if sp.name not in spec_slope:
+            spec_slope[sp.name] = (
+                compute_seconds(n_hi, sp) - compute_seconds(n_lo, sp)
+            ) / (n_hi - n_lo)
+    units = [spec_slope[sp.name] + comm_slope for sp in col_specs]
+    searched = balance_extents(
+        nm_global,
+        pc,
+        linear_cost(units),
+        initial=naive_extents,
+        what="col_ranges",
+    )
+    wall_naive = wall_for(naive_extents)
+    wall_balanced = wall_for(searched.extents)
+    balanced_extents = searched.extents
+    if wall_balanced > wall_naive:
+        # Broadcast-bound: the largest payload gates every chunk and no
+        # repartition can beat the even split — keep it.
+        wall_balanced = wall_naive
+        balanced_extents = naive_extents
+    groups = []
+    for sp in col_specs:
+        if groups and groups[-1][0] == sp.name:
+            groups[-1] = (sp.name, groups[-1][1] + 1)
+        else:
+            groups.append((sp.name, 1))
+    return {
+        "naive": wall_naive,
+        "balanced": wall_balanced,
+        "per_vector_naive": wall_naive / k,
+        "per_vector_balanced": wall_balanced / k,
+        "speedup": wall_naive / wall_balanced if wall_balanced > 0 else 1.0,
+        "extents": balanced_extents,
+        "groups": groups,
     }
 
 
@@ -283,6 +494,12 @@ class ScalingPoint:
     (:mod:`repro.comm.balance`) rebalanced the sweep's injected ``skew``;
     with ``skew=0`` they equal the overlap columns, and
     :attr:`balance_speedup` quantifies the recovered skew.
+
+    ``time_mixed_two_stream_host`` / ``time_mixed_overlap3`` are the
+    per-vector times with the sweep's :class:`~repro.util.timing.HostModel`
+    charged serially after the two-stream schedule vs fused as the third
+    stream; :attr:`host_overlap_speedup` is their ratio.  Both are 0.0
+    when the sweep ran without a host model.
     """
 
     p: int
@@ -296,6 +513,8 @@ class ScalingPoint:
     time_mixed_blocked_serial: float = 0.0
     time_double_balanced: float = 0.0
     time_mixed_balanced: float = 0.0
+    time_mixed_two_stream_host: float = 0.0
+    time_mixed_overlap3: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -324,6 +543,18 @@ class ScalingPoint:
             return 1.0
         return self.time_mixed_overlap / self.time_mixed_balanced
 
+    @property
+    def host_overlap_speedup(self) -> float:
+        """Serial-host per-vector time over the three-stream fused one.
+
+        Same chunking and same host charges on both sides, so this is
+        the host-fusion effect alone; 1.0 when the sweep carried no
+        host model.
+        """
+        if self.time_mixed_overlap3 <= 0.0:
+            return 1.0
+        return self.time_mixed_two_stream_host / self.time_mixed_overlap3
+
 
 def scaling_sweep(
     gpu_counts: Sequence[int] = (8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
@@ -336,6 +567,7 @@ def scaling_sweep(
     k: int = 16,
     max_block_k: Optional[int] = 4,
     skew: float = 0.0,
+    host: Optional[HostModel] = None,
 ) -> list:
     """The Figure-4 time/speedup series over GPU counts.
 
@@ -346,7 +578,10 @@ def scaling_sweep(
     through the blocked SBGEMM phase model, per-rank ``skew`` honored)
     plus the ``time_*_balanced`` columns: the same schedule after the
     skew-searching partitioner rebalanced the injected skew
-    (``balance_speedup`` quantifies the recovery per GPU count).
+    (``balance_speedup`` quantifies the recovery per GPU count).  With a
+    ``host`` model the mixed-config point also carries the serial-host
+    and three-stream fused per-vector columns
+    (``host_overlap_speedup``).
     """
     points = []
     for i, p in enumerate(gpu_counts):
@@ -365,6 +600,7 @@ def scaling_sweep(
         blocked_mixed = blocked_matvec_time_at_scale(
             p, pr, cfg, k=k, max_block_k=max_block_k, skew=skew,
             nm_per_gpu=nm_per_gpu, nd=nd, nt=nt, spec=spec, net=net,
+            host=host,
         )
         points.append(
             ScalingPoint(
@@ -379,6 +615,12 @@ def scaling_sweep(
                 time_mixed_blocked_serial=blocked_mixed["serial_per_vector"],
                 time_double_balanced=blocked_double["per_vector_balanced"],
                 time_mixed_balanced=blocked_mixed["per_vector_balanced"],
+                time_mixed_two_stream_host=(
+                    blocked_mixed["two_stream_host"] / k if host is not None else 0.0
+                ),
+                time_mixed_overlap3=(
+                    blocked_mixed["overlapped3"] / k if host is not None else 0.0
+                ),
             )
         )
     return points

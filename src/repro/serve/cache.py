@@ -12,7 +12,11 @@ provides:
   :class:`~repro.core.toeplitz.BlockTriangularToeplitz`, the key the
   coalescer groups requests under (engines with equal fingerprints
   compute identical answers, so their requests may share a blocked
-  pipeline pass);
+  pipeline pass).  Anything that changes an engine's *numerics* must be
+  keyed separately: the engines' ``geometry_key()`` carries the
+  ``reduction`` mode, so a ``reduction="pairwise"`` engine never
+  aliases a fast one in the cache, and the service keys each request's
+  resolved determinism mode into its coalescing group;
 * :func:`engine_footprint` — the modeled resident bytes of a built
   engine (spectrum copies + arenas, grid-wide for the parallel engine);
 * :class:`EngineCache` — an LRU of built engines charged against a

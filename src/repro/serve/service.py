@@ -5,7 +5,8 @@ operator cost one pad / batched-FFT / Phase-3 / IFFT / unpad pass.  This
 module turns that into a *serving* win: an asyncio
 :class:`SolverService` accepts per-tenant ``matvec`` / ``rmatvec`` /
 ``solve`` requests, groups in-flight requests that share an operator
-fingerprint (plus kind and precision config), and flushes each group as
+fingerprint (plus kind, precision config and resolved determinism
+mode), and flushes each group as
 one blocked apply — on ``max_block_k`` queued columns or a micro-batch
 window timeout, whichever first — then scatters per-request result
 columns back to their futures.
@@ -14,7 +15,13 @@ columns back to their futures.
 default flushes run the engines' ``deterministic=True`` blocked path,
 whose column ``j`` is *bitwise* what a sequential ``matvec`` of request
 ``j`` returns (see :meth:`repro.core.matvec.FFTMatvec.matmat`).  A
-request therefore cannot observe whether it shared a batch.  ``solve``
+request therefore cannot observe whether it shared a batch.  Requests
+may override the mode per call (``deterministic=False`` buys the fast
+blocked GEMM); the resolved mode is part of the coalescing key, so a
+deterministic request can never be flushed through a fast-mode pass —
+the same separation the engines' ``geometry_key`` enforces for
+``reduction="pairwise"`` engine instances in the
+:class:`~repro.serve.cache.EngineCache`.  ``solve``
 requests coalesce at the CG level — each iteration applies the
 Gauss-Newton Hessian to all k systems in one blocked pass — and are
 tolerance-equivalent (same stopping rule per column), not bitwise.
@@ -136,8 +143,11 @@ class _Request:
     seq: int
 
 
-# A coalescing group: requests here may share one blocked apply.
-_GroupKey = Tuple[str, str, str, Optional[SolveOptions]]
+# A coalescing group: requests here may share one blocked apply.  The
+# resolved determinism mode is part of the key: a request that asked for
+# the bitwise path must never ride a fast-mode flush (and vice versa),
+# whatever the service default is.
+_GroupKey = Tuple[str, str, str, bool, Optional[SolveOptions]]
 
 
 class SolverService:
@@ -165,9 +175,11 @@ class SolverService:
         Weighted-fair-queuing weights (default 1.0).  Under contention a
         tenant's share of flush columns is proportional to its weight.
     deterministic:
-        Run flushes through the engines' bitwise per-column Phase 3
-        (default).  ``False`` uses the faster blocked GEMM whose columns
-        match sequential applies only to rounding.
+        Default flush mode: run through the engines' bitwise per-column
+        Phase 3 (default ``True``).  ``False`` uses the faster blocked
+        GEMM whose columns match sequential applies only to rounding.
+        Every request can override per call; requests only coalesce
+        with requests that *resolved* to the same mode.
     """
 
     def __init__(
@@ -256,13 +268,18 @@ class SolverService:
         m: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
         tenant: str = "default",
+        deterministic: Optional[bool] = None,
     ) -> np.ndarray:
         """``d = F m`` for one tenant; may share a blocked pass with
-        concurrent requests on the same handle/config (bitwise-identical
-        to an uncoalesced apply either way)."""
+        concurrent requests on the same handle/config and resolved
+        determinism mode (bitwise-identical to an uncoalesced apply in
+        deterministic mode).  ``deterministic`` overrides the service
+        default for this request only."""
         nt, nd, nm = self._shape(handle)
         payload = self._as_block(m, (nt, nm), "matvec input")
-        return await self._submit("matvec", handle, payload, config, tenant, None)
+        return await self._submit(
+            "matvec", handle, payload, config, tenant, None, deterministic
+        )
 
     async def rmatvec(
         self,
@@ -270,12 +287,16 @@ class SolverService:
         d: np.ndarray,
         config: Union[str, PrecisionConfig] = "ddddd",
         tenant: str = "default",
+        deterministic: Optional[bool] = None,
     ) -> np.ndarray:
         """``m = F* d`` for one tenant (adjoint of :meth:`matvec`, same
-        coalescing and bitwise guarantees)."""
+        coalescing, bitwise guarantees and per-request ``deterministic``
+        override)."""
         nt, nd, nm = self._shape(handle)
         payload = self._as_block(d, (nt, nd), "rmatvec input")
-        return await self._submit("rmatvec", handle, payload, config, tenant, None)
+        return await self._submit(
+            "rmatvec", handle, payload, config, tenant, None, deterministic
+        )
 
     async def solve(
         self,
@@ -284,6 +305,7 @@ class SolverService:
         config: Union[str, PrecisionConfig] = "ddddd",
         tenant: str = "default",
         options: Optional[SolveOptions] = None,
+        deterministic: Optional[bool] = None,
     ) -> np.ndarray:
         """Regularized least-squares solve for one tenant.
 
@@ -297,7 +319,9 @@ class SolverService:
         nt, nd, nm = self._shape(handle)
         payload = self._as_block(d, (nt, nd), "solve input")
         opts = options if options is not None else SolveOptions()
-        return await self._submit("solve", handle, payload, config, tenant, opts)
+        return await self._submit(
+            "solve", handle, payload, config, tenant, opts, deterministic
+        )
 
     # -- lifecycle ------------------------------------------------------------
     async def drain(self) -> None:
@@ -352,6 +376,7 @@ class SolverService:
         config: Union[str, PrecisionConfig],
         tenant: str,
         options: Optional[SolveOptions],
+        deterministic: Optional[bool] = None,
     ) -> np.ndarray:
         if self._closed:
             raise ServiceClosedError("service is closed")
@@ -381,7 +406,10 @@ class SolverService:
             t_submit=time.perf_counter(),
             seq=self._seq,
         )
-        gkey: _GroupKey = (handle, kind, str(PrecisionConfig.parse(config)), options)
+        det = self.deterministic if deterministic is None else bool(deterministic)
+        gkey: _GroupKey = (
+            handle, kind, str(PrecisionConfig.parse(config)), det, options
+        )
         group = self._groups.setdefault(gkey, deque())
         group.append(req)
         self._pending_total += 1
@@ -513,14 +541,18 @@ class SolverService:
     def _execute(
         self, gkey: _GroupKey, batch: List[_Request]
     ) -> List[np.ndarray]:
-        handle, kind, config, options = gkey
+        handle, kind, config, deterministic, options = gkey
         engine = self.cache.get(handle, builder=self._builders[handle])
         try:
             if kind == "solve":
                 assert options is not None
-                results = self._execute_solve(engine, batch, config, options)
+                results = self._execute_solve(
+                    engine, batch, config, options, deterministic
+                )
             else:
-                results = self._execute_apply(engine, kind, batch, config)
+                results = self._execute_apply(
+                    engine, kind, batch, config, deterministic
+                )
         finally:
             # Arenas and spectrum caches grow lazily; keep the budget
             # charge honest after every pass.
@@ -529,9 +561,15 @@ class SolverService:
         return results
 
     def _execute_apply(
-        self, engine, kind: str, batch: List[_Request], config: str
+        self,
+        engine,
+        kind: str,
+        batch: List[_Request],
+        config: str,
+        deterministic: bool,
     ) -> List[np.ndarray]:
-        """Run one (possibly coalesced) matvec/rmatvec flush."""
+        """Run one (possibly coalesced) matvec/rmatvec flush in the
+        group's resolved determinism mode."""
         k = len(batch)
         apply_one = engine.matvec if kind == "matvec" else engine.rmatvec
         if k == 1:
@@ -542,7 +580,7 @@ class SolverService:
         for j, req in enumerate(batch):
             block[:, :, j] = req.payload
         apply_block = engine.matmat if kind == "matvec" else engine.rmatmat
-        out = apply_block(block, config=config, deterministic=self.deterministic)
+        out = apply_block(block, config=config, deterministic=deterministic)
         return [np.ascontiguousarray(out[:, :, j]) for j in range(k)]
 
     def _execute_solve(
@@ -551,6 +589,7 @@ class SolverService:
         batch: List[_Request],
         config: str,
         options: SolveOptions,
+        deterministic: bool,
     ) -> List[np.ndarray]:
         """Run one (possibly block-)CG solve flush."""
         from repro.inverse.cg import block_conjugate_gradient, conjugate_gradient
@@ -575,7 +614,7 @@ class SolverService:
         for j, req in enumerate(batch):
             d_block[:, :, j] = req.payload
         rhs = (
-            engine.rmatmat(d_block, config=config, deterministic=self.deterministic)
+            engine.rmatmat(d_block, config=config, deterministic=deterministic)
             * inv_var
         )
         res = block_conjugate_gradient(

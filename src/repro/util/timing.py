@@ -28,7 +28,41 @@ import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["SimClock", "Timeline", "Stream", "Event", "PhaseTimer", "TimingReport"]
+from repro.util.validation import ReproError
+
+__all__ = [
+    "SimClock",
+    "Timeline",
+    "Stream",
+    "Event",
+    "HostModel",
+    "PhaseTimer",
+    "TimingReport",
+]
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """Host-side costs per vector (seconds).
+
+    ``gen_time`` covers producing the next input (RNG / reading a unit
+    vector / disk read); ``save_time`` covers writing the result.  Both
+    the single-device :class:`~repro.core.pipeline.OverlappedMatvecRunner`
+    and the grid engine's fused three-stream schedule
+    (``ParallelFFTMatvec(host=...)``) charge these onto a dedicated host
+    stream, so generate/save overlap device compute *and* collectives.
+    """
+
+    gen_time: float = 50e-6
+    save_time: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.gen_time < 0 or self.save_time < 0:
+            raise ReproError("host times must be non-negative")
+
+    @property
+    def per_vector(self) -> float:
+        return self.gen_time + self.save_time
 
 
 class SimClock:

@@ -1,0 +1,109 @@
+"""Pairwise (fixed-tree) SBGEMM: dispatch, numerics, partition invariance."""
+
+import numpy as np
+import pytest
+
+from repro.blas.dispatch import SBGEMVDispatcher
+from repro.blas.gemm_kernels import (
+    PairwiseSBGEMM,
+    gemm_strided_batched_reference,
+    pairwise_gemm_strided_batched_reference,
+    pairwise_segment_values,
+)
+from repro.blas.types import BlasDatatype, GemmProblem, Operation
+from repro.comm.collectives import fixed_tree_reduce_segments
+from repro.gpu.specs import get_gpu
+from repro.util.validation import ReproError
+
+SPEC = get_gpu("mi300x")
+
+
+def _operands(batch, m, n, k, dtype=np.complex128, seed=0):
+    rng = np.random.default_rng(seed)
+    A = (rng.standard_normal((batch, m, n)) + 1j * rng.standard_normal((batch, m, n))).astype(dtype)
+    in_rows = n  # op N
+    B = (rng.standard_normal((batch, in_rows, k)) + 1j * rng.standard_normal((batch, in_rows, k))).astype(dtype)
+    return A, B
+
+
+class TestPairwiseReference:
+    def test_close_to_fast_reference(self):
+        A, B = _operands(3, 4, 11, 5)
+        fast = gemm_strided_batched_reference(A, B, Operation.N)
+        pw = pairwise_gemm_strided_batched_reference(A, B, Operation.N)
+        assert np.allclose(fast, pw, rtol=1e-12)
+
+    @pytest.mark.parametrize("op", [Operation.N, Operation.T, Operation.C])
+    def test_blocked_equals_looped_bitwise(self, op):
+        A, B = _operands(2, 5, 9, 6, seed=1)
+        if op is not Operation.N:
+            # B rows follow the transposed contraction extent.
+            rng = np.random.default_rng(2)
+            B = (
+                rng.standard_normal((2, 5, 6)) + 1j * rng.standard_normal((2, 5, 6))
+            ).astype(np.complex128)
+        a_conj = np.conj(A) if op is Operation.C else None
+        blocked = pairwise_gemm_strided_batched_reference(A, B, op, a_conj=a_conj)
+        for j in range(B.shape[2]):
+            looped = pairwise_gemm_strided_batched_reference(
+                A, B[:, :, j : j + 1], op, a_conj=a_conj
+            )
+            assert np.array_equal(blocked[:, :, j : j + 1], looped)
+
+    def test_segment_merge_matches_any_partition(self):
+        n = 9
+        A, B = _operands(2, 3, n, 4, seed=5)
+        ref = pairwise_gemm_strided_batched_reference(A, B, Operation.N)
+        for bounds in ([0, n], [0, 1, n], [0, 4, 5, n], list(range(n + 1))):
+            merged = {}
+            for lo, hi in zip(bounds, bounds[1:]):
+                merged.update(
+                    pairwise_segment_values(
+                        A[:, :, lo:hi], B[:, lo:hi, :], Operation.N, lo, n
+                    )
+                )
+            out = fixed_tree_reduce_segments(merged, n)
+            assert np.array_equal(out, ref)
+
+
+class TestPairwiseDispatch:
+    def test_select_gemm_wraps_and_taxes(self):
+        disp = SBGEMVDispatcher(SPEC)
+        problem = GemmProblem(
+            m=100, n=500, k=8, batch=64, datatype=BlasDatatype.Z,
+            operation=Operation.N,
+        )
+        fast = disp.select_gemm(problem)
+        pw = disp.select_gemm(problem, reduction="pairwise")
+        assert isinstance(pw, PairwiseSBGEMM)
+        assert pw.inner.name == fast.name
+        assert pw.efficiency(problem, SPEC) == pytest.approx(
+            fast.efficiency(problem, SPEC) * PairwiseSBGEMM.DETERMINISM_TAX
+        )
+        assert pw.modeled_time(problem, SPEC) > fast.modeled_time(problem, SPEC)
+
+    def test_select_gemm_rejects_bad_mode(self):
+        disp = SBGEMVDispatcher(SPEC)
+        problem = GemmProblem(
+            m=4, n=8, k=2, batch=3, datatype=BlasDatatype.Z,
+            operation=Operation.N,
+        )
+        with pytest.raises(ReproError):
+            disp.select_gemm(problem, reduction="det")
+
+    def test_k1_skips_gemv_degeneration_in_pairwise_mode(self):
+        disp = SBGEMVDispatcher(SPEC)
+        A, B = _operands(2, 3, 7, 1, seed=9)
+        out_pw = disp.gemm_strided_batched(A, B, Operation.N, reduction="pairwise")
+        assert disp.dispatch_counts[PairwiseSBGEMM.name] >= 1
+        # Bitwise the same tree a width-1 slice of a wide panel sees.
+        wide_B = np.concatenate([B, B], axis=2)
+        wide = disp.gemm_strided_batched(A, wide_B, Operation.N, reduction="pairwise")
+        assert np.array_equal(out_pw, wide[:, :, :1])
+
+    def test_run_matches_reference_bitwise(self):
+        disp = SBGEMVDispatcher(SPEC)
+        A, B = _operands(3, 4, 10, 5, seed=11)
+        got = disp.gemm_strided_batched(A, B, Operation.N, reduction="pairwise")
+        ref = pairwise_gemm_strided_batched_reference(A, B, Operation.N)
+        assert np.array_equal(got, ref)

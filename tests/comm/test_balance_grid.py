@@ -1,0 +1,219 @@
+"""Joint 2-D grid balance + affine cost fit (comm/balance.py additions)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.balance import (
+    GridBalanceResult,
+    affine_cost,
+    affine_part_costs,
+    balance_grid,
+    measure_rebalance_loop,
+)
+from repro.comm.grid import ProcessGrid
+from repro.comm.netmodel import SIMPLE_NETWORK
+from repro.comm.partition import check_extents, skewed_extents
+from repro.core.parallel import ParallelFFTMatvec
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.gpu.specs import MI300X
+from repro.util.validation import ReproError
+
+
+class TestAffineCost:
+    def test_evaluates_affine_model(self):
+        cost = affine_cost([5.0, 0.0], [2.0, 1.0])
+        assert cost(0, 10) == pytest.approx(25.0)
+        assert cost(1, 10) == pytest.approx(10.0)
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ReproError):
+            affine_cost([], [])
+        with pytest.raises(ReproError):
+            affine_cost([1.0], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            affine_cost([-1.0], [1.0])
+        with pytest.raises(ReproError):
+            affine_cost([1.0], [0.0])
+
+
+class TestAffinePartCosts:
+    PR, PC = 1, 2
+
+    def _report(self, ranges, a, b):
+        # Synthetic rank clocks following cost = a + b * owned_cols.
+        return {
+            (0, c): a[c] + b[c] * (stop - start)
+            for c, (start, stop) in enumerate(ranges)
+        }
+
+    def test_exact_recovery_from_two_rounds(self):
+        a, b = [3.0, 1.0], [0.5, 0.25]
+        r1 = [(0, 40), (40, 100)]
+        r2 = [(0, 60), (60, 100)]
+        cost = affine_part_costs(
+            self._report(r1, a, b), r1, self._report(r2, a, b), r2,
+            self.PR, self.PC,
+        )
+        for part in range(2):
+            for n in (10, 37, 80):
+                assert cost(part, n) == pytest.approx(a[part] + b[part] * n,
+                                                      rel=1e-12)
+
+    def test_unchanged_extent_falls_back_to_linear(self):
+        a, b = [3.0, 1.0], [0.5, 0.25]
+        r1 = [(0, 40), (40, 100)]
+        cost = affine_part_costs(
+            self._report(r1, a, b), r1, self._report(r1, a, b), r1,
+            self.PR, self.PC,
+        )
+        # Linear fallback: slope = measured seconds per owned column.
+        c0 = (a[0] + b[0] * 40) / 40
+        assert cost(0, 10) == pytest.approx(c0 * 10)
+
+    def test_nonmonotone_measurement_falls_back(self):
+        # Part 0 measured *cheaper* with more columns: negative slope,
+        # must not be trusted — conservative linear of the worse round.
+        r1 = [(0, 40), (40, 100)]
+        r2 = [(0, 60), (60, 100)]
+        rep1 = {(0, 0): 8.0, (0, 1): 6.0}
+        rep2 = {(0, 0): 7.0, (0, 1): 4.0}
+        cost = affine_part_costs(rep1, r1, rep2, r2, self.PR, self.PC)
+        assert cost(0, 40) == pytest.approx(8.0)  # max(8/40, 7/60) * 40
+
+
+class TestBalanceGrid:
+    def test_homogeneous_fixed_point_in_one_pass(self):
+        res = balance_grid(16, 64, 2, 2, lambda r, c: 1.0)
+        assert isinstance(res, GridBalanceResult)
+        assert res.converged
+        assert res.passes == 1
+        assert [s - t for t, s in [(lo, hi) for lo, hi in res.row_extents]] == [8, 8]
+        assert [hi - lo for lo, hi in res.col_extents] == [32, 32]
+        assert res.improvement == pytest.approx(1.0)
+
+    def test_heterogeneous_improvement(self):
+        # Rank column 1 is 3x faster: the search should shift columns
+        # to it and strictly improve the joint objective.
+        units = {0: 3.0, 1: 1.0}
+        res = balance_grid(16, 120, 2, 2, lambda r, c: units[c])
+        assert res.converged
+        assert res.improvement > 1.0
+        lengths = [hi - lo for lo, hi in res.col_extents]
+        assert lengths[1] > lengths[0]
+        check_extents(res.row_extents, 16, 2)
+        check_extents(res.col_extents, 120, 2)
+        assert res.modeled_max == pytest.approx(max(res.rank_costs.values()))
+        assert len(res.history) == res.passes
+
+    def test_row_col_coupling_moves_both_axes(self):
+        # Row 0 and column 0 are both slow: both boundaries must move.
+        res = balance_grid(
+            40, 80, 2, 2,
+            lambda r, c: (2.0 if r == 0 else 1.0) * (2.0 if c == 0 else 1.0),
+        )
+        assert res.converged
+        rl = [hi - lo for lo, hi in res.row_extents]
+        cl = [hi - lo for lo, hi in res.col_extents]
+        assert rl[0] < rl[1]
+        assert cl[0] < cl[1]
+
+    def test_objective_nonincreasing_across_passes(self):
+        rng = np.random.default_rng(4)
+        units = {(r, c): float(u) for (r, c), u in np.ndenumerate(
+            rng.uniform(0.5, 3.0, size=(3, 3))
+        )}
+        res = balance_grid(33, 100, 3, 3, lambda r, c: units[(r, c)],
+                           row_initial=skewed_extents(33, 3, 0.5))
+        prior = res.initial_max
+        for row_res, col_res in res.history:
+            assert col_res.modeled_max <= prior + 1e-12
+            prior = col_res.modeled_max
+        assert res.modeled_max <= res.initial_max
+
+    def test_min_part_and_validation(self):
+        res = balance_grid(4, 8, 2, 2, lambda r, c: 1.0 if c else 50.0,
+                           min_part=2)
+        assert min(hi - lo for lo, hi in res.col_extents) >= 2
+        with pytest.raises(ReproError):
+            balance_grid(3, 8, 2, 2, lambda r, c: 1.0, min_part=2)
+        with pytest.raises(ReproError):
+            balance_grid(4, 8, 2, 2, lambda r, c: 0.0)
+
+
+class TestAffineRebalanceLoop:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        rng = np.random.default_rng(21)
+        matrix = BlockTriangularToeplitz.random(128, 16, 256, rng=rng,
+                                                decay=0.05)
+        D = rng.standard_normal((128, 16, 8))
+        return matrix, D
+
+    def _make(self, matrix, col_ranges=None):
+        grid = ProcessGrid(2, 2, net=SIMPLE_NETWORK)
+        return ParallelFFTMatvec(
+            matrix, grid, spec=MI300X, max_block_k=4, col_ranges=col_ranges
+        )
+
+    def test_rejects_unknown_cost_model(self, problem):
+        matrix, D = problem
+        with pytest.raises(ReproError):
+            measure_rebalance_loop(
+                lambda cr=None: self._make(matrix),
+                lambda e: e.rmatmat(D),
+                axis="col",
+                cost_model="quadratic",
+            )
+
+    def test_affine_loop_recovers_skew_bitwise(self, problem):
+        matrix, D = problem
+        nm = matrix.nm
+        skewed = skewed_extents(nm, 2, skew=0.5)
+
+        def make(col_ranges=None):
+            return self._make(matrix, col_ranges)
+
+        def wall(eng):
+            t0 = eng.grid.clock.now
+            out = eng.rmatmat(D, overlap=False)
+            return eng.grid.clock.now - t0, out
+
+        t_skew, M_skew = wall(make(skewed))
+        res = measure_rebalance_loop(
+            make,
+            lambda e: e.rmatmat(D, overlap=False),
+            axis="col",
+            initial=skewed,
+            max_rounds=6,
+            min_part=2,
+            rtol=0.0,
+            cost_model="affine",
+        )
+        check_extents(res.extents, nm, 2)
+        t_reb, M_reb = wall(make(res.extents))
+        assert t_reb < t_skew
+        assert np.array_equal(M_reb, M_skew)
+
+    def test_affine_matches_or_beats_linear_rounds(self, problem):
+        # The affine fit's selling point: once two rounds pin the
+        # constants, the search should not need more rounds than the
+        # linear model to reach its best partition.
+        matrix, D = problem
+        skewed = skewed_extents(matrix.nm, 2, skew=0.5)
+
+        def run(cost_model):
+            return measure_rebalance_loop(
+                lambda cr=None: self._make(matrix, cr),
+                lambda e: e.rmatmat(D, overlap=False),
+                axis="col",
+                initial=skewed,
+                max_rounds=6,
+                min_part=2,
+                rtol=0.0,
+                cost_model=cost_model,
+            )
+
+        lin = run("linear")
+        aff = run("affine")
+        assert aff.rounds <= lin.rounds + 1
+        check_extents(aff.extents, matrix.nm, 2)

@@ -57,6 +57,17 @@ class TestSingleEngineKey:
         cache = {eng.geometry_key(): "hit"}
         assert cache[FFTMatvec(make_matrix(seed=7)).geometry_key()] == "hit"
 
+    def test_reduction_changes_key(self):
+        # A pairwise engine produces different bits from a fast engine
+        # for the same operator — the keys must never collide, or the
+        # serving layer would coalesce/alias them.
+        fast = FFTMatvec(make_matrix())
+        det = FFTMatvec(make_matrix(), reduction="pairwise")
+        assert fast.geometry_key() != det.geometry_key()
+        assert det.geometry_key() == FFTMatvec(
+            make_matrix(seed=9), reduction="pairwise"
+        ).geometry_key()
+
 
 class TestGridEngineKey:
     def test_equal_for_twin_grids(self):
@@ -81,6 +92,16 @@ class TestGridEngineKey:
         single = FFTMatvec(mat)
         grid = ParallelFFTMatvec(mat, ProcessGrid(1, 1))
         assert single.geometry_key() != grid.geometry_key()
+
+    def test_reduction_changes_key(self):
+        fast = ParallelFFTMatvec(make_matrix(), ProcessGrid(2, 2))
+        det = ParallelFFTMatvec(
+            make_matrix(), ProcessGrid(2, 2), reduction="pairwise"
+        )
+        assert fast.geometry_key() != det.geometry_key()
+        assert det.geometry_key() == ParallelFFTMatvec(
+            make_matrix(seed=5), ProcessGrid(2, 2), reduction="pairwise"
+        ).geometry_key()
 
 
 class TestPlanCacheLRU:

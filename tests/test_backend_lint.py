@@ -32,14 +32,32 @@ LINTED = sorted(
         SRC / "core" / "phases.py",
         SRC / "core" / "reorder.py",
         SRC / "util" / "workspace.py",
+        SRC / "util" / "pairwise.py",
         SRC / "comm" / "collectives.py",
         SRC / "comm" / "simcomm.py",
         SRC / "comm" / "grid.py",
     ]
 )
 
+# Modules implementing the fixed-order pairwise reduction: any raw
+# left-to-right accumulation (np.sum / np.add.reduce / ndarray.sum)
+# would silently regroup the tree and break bitwise partition
+# invariance, so the reduce path must add through the backend seam
+# one edge at a time.
+REDUCE_PATH = sorted(
+    [
+        SRC / "util" / "pairwise.py",
+        SRC / "comm" / "collectives.py",
+        SRC / "blas" / "gemm_kernels.py",
+    ]
+)
+
 # Direct calls banned outside the numpy backend implementation.
 BANNED_CALLS = {"empty", "zeros", "matmul"}
+
+# Accumulation entry points banned on the reduce path (any receiver:
+# np.sum(...), arr.sum(...), np.add.reduce(...)).
+BANNED_REDUCTIONS = {"sum", "reduce", "cumsum", "einsum"}
 
 
 def _np_attribute(node: ast.AST) -> bool:
@@ -53,6 +71,7 @@ def _np_attribute(node: ast.AST) -> bool:
 
 def _violations(path: pathlib.Path) -> list:
     tree = ast.parse(path.read_text(), filename=str(path))
+    reduce_path = path.resolve() in {p.resolve() for p in REDUCE_PATH}
     found = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Call) and _np_attribute(node.func):
@@ -60,6 +79,15 @@ def _violations(path: pathlib.Path) -> list:
                 found.append((path, node.lineno, f"np.{node.func.attr}(...)"))
         if _np_attribute(node) and node.attr == "fft":
             found.append((path, node.lineno, "np.fft"))
+        if (
+            reduce_path
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in BANNED_REDUCTIONS
+        ):
+            found.append(
+                (path, node.lineno, f"raw .{node.func.attr}(...) accumulation")
+            )
     return found
 
 
@@ -84,3 +112,20 @@ def test_backend_package_is_exempt():
     """The numpy backend itself legitimately calls np.empty/np.zeros."""
     backend_files = {p.resolve() for p in (SRC / "backend").glob("*.py")}
     assert backend_files.isdisjoint({p.resolve() for p in LINTED})
+
+
+def test_reduce_path_is_subset_of_linted():
+    linted = {p.resolve() for p in LINTED}
+    assert {p.resolve() for p in REDUCE_PATH} <= linted
+
+
+def test_reduce_lint_catches_raw_accumulation(tmp_path):
+    bad = tmp_path / "pairwise.py"
+    bad.write_text("import numpy as np\n\ndef f(x):\n    return x.sum(axis=0)\n")
+    # Point the checker at the temp file as if it were on the reduce path.
+    REDUCE_PATH.append(bad)
+    try:
+        offenders = _violations(bad)
+    finally:
+        REDUCE_PATH.remove(bad)
+    assert offenders and "accumulation" in offenders[0][2]
