@@ -57,6 +57,7 @@ from repro.comm.balance import (
     measure_rebalance_loop,
     recovered_skew_fraction,
 )
+from repro.comm.fault import FailureSchedule, RankFailure
 from repro.comm.rccl import (
     NcclComm,
     NcclDataType,
@@ -88,6 +89,8 @@ __all__ = [
     "rebalance_cols",
     "measure_rebalance_loop",
     "recovered_skew_fraction",
+    "FailureSchedule",
+    "RankFailure",
     "NcclComm",
     "NcclDataType",
     "NcclOp",

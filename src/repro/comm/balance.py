@@ -792,6 +792,62 @@ class MeasureRebalanceResult:
     converged: bool
 
 
+def _rebalance_state_arrays(
+    current: Optional[List[Tuple[int, int]]],
+    visited: Dict[Tuple[Tuple[int, int], ...], float],
+    prev_round: Optional[Tuple[Dict[Tuple[int, int], float], Tuple]],
+) -> Dict[str, "np.ndarray"]:
+    """Flatten one rebalance round boundary into checkpoint arrays."""
+    import numpy as np
+
+    arrays: Dict[str, np.ndarray] = {}
+    if current is not None:
+        arrays["current"] = np.asarray(current, dtype=np.int64)
+    keys = list(visited.keys())
+    arrays["visited_keys"] = (
+        np.asarray(keys, dtype=np.int64)
+        if keys
+        else np.zeros((0, 0, 2), dtype=np.int64)
+    )
+    arrays["visited_vals"] = np.asarray(
+        [visited[k] for k in keys], dtype=np.float64
+    )
+    if prev_round is not None:
+        report, under = prev_round
+        coords = sorted(report.keys())
+        arrays["prev_report_coords"] = np.asarray(coords, dtype=np.int64)
+        arrays["prev_report_vals"] = np.asarray(
+            [report[c] for c in coords], dtype=np.float64
+        )
+        arrays["prev_under"] = np.asarray(under, dtype=np.int64)
+    return arrays
+
+
+def _rebalance_state_from_arrays(arrays: Dict[str, "np.ndarray"]):
+    """Inverse of :func:`_rebalance_state_arrays`."""
+    current = None
+    if "current" in arrays:
+        current = [tuple(int(v) for v in row) for row in arrays["current"]]
+    visited: Dict[Tuple[Tuple[int, int], ...], float] = {}
+    keys, vals = arrays["visited_keys"], arrays["visited_vals"]
+    for i in range(len(vals)):
+        part = tuple(tuple(int(v) for v in row) for row in keys[i])
+        visited[part] = float(vals[i])
+    prev_round = None
+    if "prev_under" in arrays:
+        coords = arrays["prev_report_coords"]
+        rvals = arrays["prev_report_vals"]
+        report = {
+            (int(coords[i][0]), int(coords[i][1])): float(rvals[i])
+            for i in range(len(rvals))
+        }
+        under = tuple(
+            tuple(int(v) for v in row) for row in arrays["prev_under"]
+        )
+        prev_round = (report, under)
+    return current, visited, prev_round
+
+
 def measure_rebalance_loop(
     make_engine: Callable[[Optional[Sequence[Tuple[int, int]]]], object],
     run_workload: Callable[[object], object],
@@ -801,6 +857,10 @@ def measure_rebalance_loop(
     min_part: int = 1,
     rtol: float = 0.02,
     cost_model: str = "linear",
+    store=None,
+    checkpoint_key: str = "rebalance",
+    fingerprint: Optional[str] = None,
+    resume: bool = False,
 ) -> MeasureRebalanceResult:
     """Iterate measure → search until the charged skew converges.
 
@@ -855,7 +915,17 @@ def measure_rebalance_loop(
         exist, separating per-rank constants from the per-element slope
         — the loop then stops under-correcting and typically converges
         in fewer measurement rounds (round 0 necessarily runs linear).
+    store / checkpoint_key / fingerprint / resume:
+        With a :class:`~repro.util.checkpoint.CheckpointStore` the loop
+        snapshots its search state (current partition, every measured
+        partition's wall, the previous round's report for the affine
+        fit) after each measurement round — each round costs an engine
+        build plus a full workload run, the expensive state here.
+        ``resume=True`` restores the latest snapshot (validated against
+        ``fingerprint``) and runs only the remaining rounds; ``history``
+        then holds post-resume rounds while ``rounds`` counts the total.
     """
+    from repro.util.checkpoint import CheckpointError
     if axis not in ("row", "col"):
         raise ReproError(f"axis must be 'row' or 'col', got {axis!r}")
     if cost_model not in ("linear", "affine"):
@@ -872,7 +942,23 @@ def measure_rebalance_loop(
     visited: Dict[Tuple[Tuple[int, int], ...], float] = {}
     converged = False
     prev_round: Optional[Tuple[Dict[Tuple[int, int], float], Tuple]] = None
-    for _ in range(max_rounds):
+    rounds_done = 0
+    fp = fingerprint if fingerprint is not None else "unkeyed"
+    if store is not None and resume and checkpoint_key in store:
+        snap = store.load(
+            checkpoint_key,
+            expect_fingerprint=fingerprint if fingerprint is not None else None,
+        )
+        if snap.meta.get("axis") != axis or snap.meta.get("cost_model") != cost_model:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_key!r} ran axis="
+                f"{snap.meta.get('axis')!r}/cost_model="
+                f"{snap.meta.get('cost_model')!r}, caller wants "
+                f"axis={axis!r}/cost_model={cost_model!r}"
+            )
+        current, visited, prev_round = _rebalance_state_from_arrays(snap.arrays)
+        rounds_done = int(snap.meta["rounds_done"])
+    for _ in range(rounds_done, max_rounds):
         engine = make_engine(current)
         run_workload(engine)
         measured_under = tuple(
@@ -919,13 +1005,31 @@ def measure_rebalance_loop(
             # Fixed point, a revisit (+-1 boundary flap near the
             # optimum), or sub-tolerance predicted gain: the charged
             # skew has converged.
+            rounds_done += 1
             converged = True
             break
         current = res.extents
+        rounds_done += 1
+        if store is not None:
+            store.save(
+                checkpoint_key,
+                _rebalance_state_arrays(current, visited, prev_round),
+                fingerprint=fp,
+                meta={
+                    "rounds_done": rounds_done,
+                    "axis": axis,
+                    "cost_model": cost_model,
+                },
+            )
+    if not visited:
+        raise CheckpointError(
+            f"rebalance checkpoint {checkpoint_key!r} resumed at round "
+            f"{rounds_done} with max_rounds={max_rounds}: no measurements"
+        )
     best = min(visited, key=lambda part: (visited[part], part))
     return MeasureRebalanceResult(
         extents=[tuple(e) for e in best],
-        rounds=len(history),
+        rounds=rounds_done,
         history=history,
         converged=converged,
     )

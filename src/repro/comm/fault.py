@@ -1,0 +1,164 @@
+"""Seeded fault injection for the simulated communicator.
+
+The production fleet loses ranks: node reboots, ECC faults, wall-time
+eviction.  In the simulation every rank lives in one process, so "a rank
+dies" is modeled at the point where a real job would first observe it —
+a collective that never completes.  :class:`FailureSchedule` decides, at
+every collective a :class:`~repro.comm.simcomm.SimCommunicator` runs,
+whether a scheduled failure fires there; when it does the communicator
+raises :class:`RankFailure` naming the victim rank, the collective kind
+and the global collective index.
+
+Two scheduling modes share one object:
+
+* **Explicit** — ``FailureSchedule(kills=[(index, rank), ...])``: kill
+  ``rank`` at the ``index``-th collective (0-based, counted across every
+  communicator the schedule is installed on: world, row, column and the
+  engines' silent clones, in the deterministic order the SPMD loop runs
+  them).  This is what targeted tests use to hit a specific chunk.
+* **Seeded** — :meth:`FailureSchedule.seeded`: draw ``n_failures``
+  distinct kill points uniformly from the first ``horizon`` collectives
+  with ``numpy``'s seeded generator.  Chaos tests print the seed; any
+  failure reproduces by rerunning with the same seed.
+
+Each kill fires **once** — replaying the lost work on a rebuilt grid
+re-counts collectives past the kill point without retriggering it, and
+a multi-kill schedule keeps firing its remaining kills on the rebuilt
+engines (cascading failures are just more entries).  The counter is
+shared by design: one schedule installed on a whole grid sees the same
+deterministic collective sequence the run performs, which is what makes
+a printed seed sufficient to reproduce a chaos failure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import ReproError, check_positive_int
+
+__all__ = ["RankFailure", "FailureSchedule"]
+
+
+class RankFailure(ReproError):
+    """A simulated rank died at a collective.
+
+    Carries what the recovery layer needs: the victim ``rank`` (world
+    numbering of the grid the schedule was installed on), the collective
+    ``op`` it died in, the global ``collective_index`` at which it fired
+    and the ``comm_name`` of the communicator that observed it.
+    """
+
+    def __init__(
+        self, rank: int, op: str, collective_index: int, comm_name: str = "world"
+    ) -> None:
+        self.rank = int(rank)
+        self.op = str(op)
+        self.collective_index = int(collective_index)
+        self.comm_name = str(comm_name)
+        super().__init__(
+            f"rank {rank} failed during {op!r} "
+            f"(collective #{collective_index} on {comm_name})"
+        )
+
+
+class FailureSchedule:
+    """Deterministic schedule of rank kills, counted over collectives.
+
+    Parameters
+    ----------
+    kills:
+        Sequence of ``(collective_index, rank)`` pairs.  Indices are
+        0-based positions in the stream of collectives observed by every
+        communicator this schedule is installed on; each entry fires at
+        most once.
+    seed:
+        Recorded provenance (set by :meth:`seeded`); chaos fixtures
+        print it so a failing scenario can be replayed exactly.
+    """
+
+    def __init__(
+        self,
+        kills: Sequence[Tuple[int, int]] = (),
+        seed: Optional[int] = None,
+    ) -> None:
+        self._pending = {}
+        for index, rank in kills:
+            index = int(index)
+            rank = int(rank)
+            if index < 0:
+                raise ReproError(f"collective index must be >= 0, got {index}")
+            if rank < 0:
+                raise ReproError(f"rank must be >= 0, got {rank}")
+            if index in self._pending:
+                raise ReproError(
+                    f"duplicate kill at collective index {index}; one victim "
+                    "per collective (schedule more collectives for cascades)"
+                )
+            self._pending[index] = rank
+        self.seed = seed
+        self.calls = 0  # collectives observed so far, across installs
+        self.fired: List[RankFailure] = []
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        size: int,
+        n_failures: int = 1,
+        horizon: int = 32,
+        first: int = 0,
+    ) -> "FailureSchedule":
+        """Draw ``n_failures`` kill points from a seeded generator.
+
+        Kill indices are distinct draws from ``[first, first + horizon)``
+        and victims are uniform over ``range(size)``.  Same
+        ``(seed, size, n_failures, horizon, first)`` → same schedule.
+        """
+        check_positive_int(size, "size")
+        check_positive_int(horizon, "horizon")
+        if n_failures < 1:
+            raise ReproError(f"n_failures must be >= 1, got {n_failures}")
+        if n_failures > horizon:
+            raise ReproError(
+                f"cannot place {n_failures} failures in a horizon of {horizon}"
+            )
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(horizon, size=n_failures, replace=False) + first
+        ranks = rng.integers(0, size, size=n_failures)
+        kills = sorted(
+            (int(i), int(r)) for i, r in zip(indices, ranks)
+        )
+        return cls(kills=kills, seed=int(seed))
+
+    @property
+    def pending(self) -> Tuple[Tuple[int, int], ...]:
+        """Remaining ``(collective_index, rank)`` kills, ascending."""
+        return tuple(sorted(self._pending.items()))
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled kill has fired."""
+        return not self._pending
+
+    def on_collective(self, op: str, comm_name: str = "world") -> None:
+        """Advance the collective counter; raise if a kill is due here.
+
+        Called by :class:`~repro.comm.simcomm.SimCommunicator` at the
+        top of every collective.  The kill is consumed *before* raising
+        so that replaying the lost work does not immediately re-fire.
+        """
+        index = self.calls
+        self.calls += 1
+        rank = self._pending.pop(index, None)
+        if rank is not None:
+            failure = RankFailure(rank, op, index, comm_name)
+            self.fired.append(failure)
+            raise failure
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FailureSchedule(pending={self.pending}, fired={len(self.fired)}, "
+            f"calls={self.calls}, seed={self.seed})"
+        )

@@ -60,6 +60,21 @@ class ProcessGrid:
             for c in range(self.pc)
         ]
 
+    # -- fault injection ------------------------------------------------------
+    def install_failure_schedule(self, schedule) -> None:
+        """Attach one :class:`~repro.comm.fault.FailureSchedule` grid-wide.
+
+        Installs the same schedule object on the world communicator and
+        every row/column subcommunicator, so its collective counter sees
+        the full deterministic sequence the SPMD loop runs.  Pass
+        ``None`` to disarm.
+        """
+        self.world.install_failure_schedule(schedule)
+        for comm in self._row_comms:
+            comm.install_failure_schedule(schedule)
+        for comm in self._col_comms:
+            comm.install_failure_schedule(schedule)
+
     # -- rank arithmetic -----------------------------------------------------
     def rank_of(self, row: int, col: int) -> int:
         """World rank of grid coordinates (row-major placement)."""

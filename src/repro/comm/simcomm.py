@@ -93,6 +93,29 @@ class SimCommunicator:
         self.collective_calls = 0
         self.op_counts: dict = {op: 0 for op in self._OPS}
         self.op_bytes: dict = {op: 0.0 for op in self._OPS}
+        # Optional fault injection (see repro.comm.fault): consulted at
+        # the top of every collective; None means no failures ever.
+        self.failures = None
+
+    # -- fault injection -----------------------------------------------------
+    def install_failure_schedule(self, schedule) -> None:
+        """Attach a :class:`~repro.comm.fault.FailureSchedule` (or None).
+
+        The schedule's collective counter is shared across every
+        communicator it is installed on, so one schedule installed on a
+        whole grid observes the run's deterministic collective sequence.
+        """
+        self.failures = schedule
+
+    def _maybe_fail(self, op: str) -> None:
+        """Raise :class:`~repro.comm.fault.RankFailure` if one is due.
+
+        Runs before the collective's numerics or timing: a dead rank
+        means the collective never completes, so nothing is charged and
+        no counters move for the op that observed the failure.
+        """
+        if self.failures is not None:
+            self.failures.on_collective(op, self.name)
 
     # -- stream routing -----------------------------------------------------
     @contextlib.contextmanager
@@ -167,6 +190,7 @@ class SimCommunicator:
         must have consumed the previous copies for the same tag (the
         usual checkout discipline).
         """
+        self._maybe_fail("bcast")
         be = backend if backend is not None else self.backend
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
@@ -198,6 +222,7 @@ class SimCommunicator:
         mixed-precision framework may run the Phase-5 reduction in
         single precision).
         """
+        self._maybe_fail("reduce")
         be = backend if backend is not None else self.backend
         bufs = self._check_per_rank(arrays, "reduce", be)
         if not (0 <= root < self.size):
@@ -234,6 +259,7 @@ class SimCommunicator:
         post-IFFT :meth:`reduce` of the fast path; that volume is part
         of the determinism tax the benchmarks report.
         """
+        self._maybe_fail("reduce")
         be = backend if backend is not None else self.backend
         if len(segments) != self.size:
             raise ReproError(
@@ -271,6 +297,7 @@ class SimCommunicator:
         backend: Optional[Backend] = None,
     ) -> List[Any]:
         """Reduce + broadcast; every rank receives the identical sum."""
+        self._maybe_fail("allreduce")
         be = backend if backend is not None else self.backend
         bufs = self._check_per_rank(arrays, "allreduce", be)
         out = tree_reduce_arrays(bufs, precision=precision, backend=be)
@@ -287,6 +314,7 @@ class SimCommunicator:
         backend: Optional[Backend] = None,
     ) -> List[Any]:
         """Concatenate per-rank arrays; every rank receives the whole."""
+        self._maybe_fail("allgather")
         be = backend if backend is not None else self.backend
         bufs = self._check_per_rank(arrays, "allgather", be)
         gathered = be.concatenate([be.ravel(b) for b in bufs])
@@ -302,6 +330,7 @@ class SimCommunicator:
         backend: Optional[Backend] = None,
     ) -> List[Any]:
         """Distribute root's per-rank chunks."""
+        self._maybe_fail("scatter")
         be = backend if backend is not None else self.backend
         bufs = self._check_per_rank(chunks, "scatter", be)
         if not (0 <= root < self.size):
@@ -312,6 +341,7 @@ class SimCommunicator:
 
     def barrier(self, phase: str = "comm") -> None:
         """Synchronize (latency-only collective)."""
+        self._maybe_fail("barrier")
         self.op_counts["barrier"] += 1
         self._charge(self.size, 0.0, phase, op="barrier")
 

@@ -29,6 +29,12 @@ from repro.core.operator import (
     GaussNewtonHessian,
 )
 from repro.core.parallel import ParallelFFTMatvec
+from repro.core.elastic import (
+    ElasticEngine,
+    FailureEvent,
+    RecoveryReport,
+    elastic_grid_shape,
+)
 from repro.core.error_model import relative_error_bound, ErrorModelParams
 from repro.core.pareto import ParetoPoint, pareto_front, sweep_configs, optimal_config
 
@@ -44,6 +50,10 @@ __all__ = [
     "AdjointOperator",
     "GaussNewtonHessian",
     "ParallelFFTMatvec",
+    "ElasticEngine",
+    "FailureEvent",
+    "RecoveryReport",
+    "elastic_grid_shape",
     "relative_error_bound",
     "ErrorModelParams",
     "ParetoPoint",

@@ -412,6 +412,18 @@ class ParallelFFTMatvec:
         self.matvec_count = 0  # logical operator actions (k per block)
         self.matmat_count = 0  # blocked pipeline passes (one per chunk)
 
+    # -- fault injection ------------------------------------------------------
+    def install_failure_schedule(self, schedule) -> None:
+        """Attach a :class:`~repro.comm.fault.FailureSchedule` to every
+        communicator this engine drives: the grid's world/row/column
+        comms *and* the silent clones the untimed rows/columns use, so
+        the schedule's collective counter advances through the full
+        deterministic SPMD sequence.  Pass ``None`` to disarm.
+        """
+        self.grid.install_failure_schedule(schedule)
+        self._silent_row.install_failure_schedule(schedule)
+        self._silent_col.install_failure_schedule(schedule)
+
     # -- partition introspection ---------------------------------------------
     @property
     def row_ranges(self) -> List[Tuple[int, int]]:

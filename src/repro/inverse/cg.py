@@ -13,12 +13,23 @@ action is one blocked application (e.g. a Gauss-Newton Hessian built on
 ``FFTMatvec.matmat``), so the k solves share each pipeline pass instead
 of re-paying pad/FFT-plan/reorder overhead per vector.  Columns freeze
 once converged; the solve runs until all columns converge or ``maxiter``.
+
+Both solvers are **resumable**: pass ``checkpoint_every=`` and a
+``checkpoint=`` callback to receive a deep-copied :class:`CGState` /
+:class:`BlockCGState` at iteration boundaries, and pass one back via
+``resume=`` to continue a killed solve.  The CG recurrence is a pure
+function of (X, R, P, rs), so a resumed solve replays the exact
+floating-point sequence of the uninterrupted one: with a deterministic
+operator (``reduction="pairwise"`` on the engines) the resumed result is
+**bitwise-identical**, at any interruption boundary.  States round-trip
+through :class:`repro.util.checkpoint.CheckpointStore` via
+``to_arrays``/``from_arrays``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -26,8 +37,10 @@ from repro.util.validation import ReproError
 
 __all__ = [
     "CGResult",
+    "CGState",
     "conjugate_gradient",
     "BlockCGResult",
+    "BlockCGState",
     "block_conjugate_gradient",
 ]
 
@@ -50,6 +63,61 @@ def _dot(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.vdot(a, b).real)
 
 
+@dataclass
+class CGState:
+    """Exact vector-CG state at an iteration boundary.
+
+    Everything the recurrence reads: restarting from a state and running
+    iteration ``iteration + 1`` onward performs the same floating-point
+    operations, in the same order, as the uninterrupted solve.
+    """
+
+    x: np.ndarray
+    r: np.ndarray
+    p: np.ndarray
+    rs: float
+    bnorm: float
+    norms: List[float]
+    iteration: int
+
+    def copy(self) -> "CGState":
+        """Deep copy — resuming never aliases the caller's snapshot."""
+        return CGState(
+            x=self.x.copy(),
+            r=self.r.copy(),
+            p=self.p.copy(),
+            rs=self.rs,
+            bnorm=self.bnorm,
+            norms=list(self.norms),
+            iteration=self.iteration,
+        )
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten to named arrays for a :class:`CheckpointStore`."""
+        return {
+            "x": self.x,
+            "r": self.r,
+            "p": self.p,
+            "scalars": np.array([self.rs, self.bnorm], dtype=np.float64),
+            "norms": np.asarray(self.norms, dtype=np.float64),
+            "iteration": np.array(self.iteration, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "CGState":
+        """Rebuild from :meth:`to_arrays` output (checkpoint load path)."""
+        scalars = np.asarray(arrays["scalars"], dtype=np.float64)
+        return cls(
+            x=np.asarray(arrays["x"], dtype=np.float64).copy(),
+            r=np.asarray(arrays["r"], dtype=np.float64).copy(),
+            p=np.asarray(arrays["p"], dtype=np.float64).copy(),
+            rs=float(scalars[0]),
+            bnorm=float(scalars[1]),
+            norms=[float(v) for v in np.asarray(arrays["norms"])],
+            iteration=int(np.asarray(arrays["iteration"]).reshape(-1)[0]),
+        )
+
+
 def conjugate_gradient(
     operator: Callable[[np.ndarray], np.ndarray],
     rhs: np.ndarray,
@@ -57,30 +125,52 @@ def conjugate_gradient(
     tol: float = 1e-8,
     maxiter: int = 500,
     callback: Optional[Callable[[int, float], None]] = None,
+    resume: Optional[CGState] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint: Optional[Callable[[CGState], None]] = None,
 ) -> CGResult:
     """Solve ``operator(x) = rhs`` for an SPD operator.
 
     Converges when ``||r|| <= tol * ||rhs||``.  Raises if the operator
     produces a direction of non-positive curvature (not SPD) — with the
     regularized Hessian that indicates a bug, not a property.
+
+    ``resume=`` continues from a :class:`CGState` (``rhs`` must be the
+    same right-hand side; ``x0`` is ignored).  ``checkpoint_every=n``
+    hands a copied state to ``checkpoint`` after every n-th iteration.
     """
     b = np.asarray(rhs, dtype=np.float64)
-    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
-    if x.shape != b.shape:
-        raise ReproError(f"x0 shape {x.shape} != rhs shape {b.shape}")
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ReproError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if resume is not None:
+        if resume.x.shape != b.shape:
+            raise ReproError(
+                f"resume state shape {resume.x.shape} != rhs shape {b.shape}"
+            )
+        state = resume.copy()
+        x, r, p = state.x, state.r, state.p
+        rs, bnorm, norms = state.rs, state.bnorm, state.norms
+        start = state.iteration
+    else:
+        x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+        if x.shape != b.shape:
+            raise ReproError(f"x0 shape {x.shape} != rhs shape {b.shape}")
 
-    r = b - operator(x)
-    p = r.copy()
-    rs = _dot(r, r)
-    bnorm = float(np.linalg.norm(b))
-    if bnorm == 0.0:
-        return CGResult(x=np.zeros_like(b), converged=True, iterations=0, residual_norms=[0.0])
+        r = b - operator(x)
+        p = r.copy()
+        rs = _dot(r, r)
+        bnorm = float(np.linalg.norm(b))
+        if bnorm == 0.0:
+            return CGResult(
+                x=np.zeros_like(b), converged=True, iterations=0, residual_norms=[0.0]
+            )
 
-    norms = [float(np.sqrt(rs))]
-    if norms[0] <= tol * bnorm:
-        return CGResult(x=x, converged=True, iterations=0, residual_norms=norms)
+        norms = [float(np.sqrt(rs))]
+        start = 0
+    if norms[-1] <= tol * bnorm:
+        return CGResult(x=x, converged=True, iterations=start, residual_norms=norms)
 
-    for it in range(1, maxiter + 1):
+    for it in range(start + 1, maxiter + 1):
         Ap = operator(p)
         curvature = _dot(p, Ap)
         if curvature <= 0.0:
@@ -99,6 +189,22 @@ def conjugate_gradient(
             return CGResult(x=x, converged=True, iterations=it, residual_norms=norms)
         p = r + (rs_new / rs) * p
         rs = rs_new
+        if (
+            checkpoint is not None
+            and checkpoint_every is not None
+            and it % checkpoint_every == 0
+        ):
+            checkpoint(
+                CGState(
+                    x=x.copy(),
+                    r=r.copy(),
+                    p=p.copy(),
+                    rs=rs,
+                    bnorm=bnorm,
+                    norms=list(norms),
+                    iteration=it,
+                )
+            )
 
     return CGResult(x=x, converged=False, iterations=maxiter, residual_norms=norms)
 
@@ -129,6 +235,61 @@ def _col_dots(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.einsum("ij,ij->j", a.reshape(-1, k), b.reshape(-1, k))
 
 
+@dataclass
+class BlockCGState:
+    """Exact block-CG state at an iteration boundary (see :class:`CGState`)."""
+
+    X: np.ndarray
+    R: np.ndarray
+    P: np.ndarray
+    rs: np.ndarray  # (k,)
+    bnorm: np.ndarray  # (k,)
+    converged: np.ndarray  # (k,) bool
+    norms: List[np.ndarray]  # (k,) per recorded iteration, incl. iter 0
+    iteration: int
+
+    def copy(self) -> "BlockCGState":
+        """Deep copy — resuming never aliases the caller's snapshot."""
+        return BlockCGState(
+            X=self.X.copy(),
+            R=self.R.copy(),
+            P=self.P.copy(),
+            rs=self.rs.copy(),
+            bnorm=self.bnorm.copy(),
+            converged=self.converged.copy(),
+            norms=[n.copy() for n in self.norms],
+            iteration=self.iteration,
+        )
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten to named arrays for a :class:`CheckpointStore`."""
+        return {
+            "X": self.X,
+            "R": self.R,
+            "P": self.P,
+            "rs": self.rs,
+            "bnorm": self.bnorm,
+            "converged": self.converged,
+            "norms": np.stack(self.norms, axis=0),
+            "iteration": np.array(self.iteration, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "BlockCGState":
+        """Rebuild from :meth:`to_arrays` output (checkpoint load path)."""
+        norms = np.asarray(arrays["norms"], dtype=np.float64)
+        return cls(
+            X=np.asarray(arrays["X"], dtype=np.float64).copy(),
+            R=np.asarray(arrays["R"], dtype=np.float64).copy(),
+            P=np.asarray(arrays["P"], dtype=np.float64).copy(),
+            rs=np.asarray(arrays["rs"], dtype=np.float64).copy(),
+            bnorm=np.asarray(arrays["bnorm"], dtype=np.float64).copy(),
+            converged=np.asarray(arrays["converged"], dtype=bool).copy(),
+            norms=[norms[i].copy() for i in range(norms.shape[0])],
+            iteration=int(np.asarray(arrays["iteration"]).reshape(-1)[0]),
+        )
+
+
 def block_conjugate_gradient(
     operator: Callable[[np.ndarray], np.ndarray],
     rhs: np.ndarray,
@@ -136,6 +297,9 @@ def block_conjugate_gradient(
     tol: float = 1e-8,
     maxiter: int = 500,
     callback: Optional[Callable[[int, np.ndarray], None]] = None,
+    resume: Optional[BlockCGState] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint: Optional[Callable[[BlockCGState], None]] = None,
 ) -> BlockCGResult:
     """Solve ``operator(X) = RHS`` column-wise for an SPD block operator.
 
@@ -147,41 +311,66 @@ def block_conjugate_gradient(
     iterate matches what :func:`conjugate_gradient` would return for the
     same column (up to rounding).  Raises on non-positive curvature in
     any active column, as the vector solver does.
+
+    ``resume=`` continues from a :class:`BlockCGState` captured by a
+    ``checkpoint=`` callback (see ``checkpoint_every``).  The resumed
+    solve is bitwise-identical to the uninterrupted one when the
+    operator is deterministic — the initialization (including the
+    ``R = B - A X`` residual) is *not* recomputed, the stored residual
+    recurrence continues exactly.
     """
     B = np.asarray(rhs, dtype=np.float64)
     if B.ndim < 2:
         raise ReproError(
             f"block CG needs a (..., k) multi-RHS array, got shape {B.shape}"
         )
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ReproError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     k = B.shape[-1]
-    X = np.zeros_like(B) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
-    if X.shape != B.shape:
-        raise ReproError(f"x0 shape {X.shape} != rhs shape {B.shape}")
+    if resume is not None:
+        if resume.X.shape != B.shape:
+            raise ReproError(
+                f"resume state shape {resume.X.shape} != rhs shape {B.shape}"
+            )
+        state = resume.copy()
+        X, R, P = state.X, state.R, state.P
+        rs, bnorm, converged = state.rs, state.bnorm, state.converged
+        norms = state.norms
+        start = state.iteration
+        if np.all(converged):
+            return BlockCGResult(
+                X=X, converged=converged, iterations=start, residual_norms=norms
+            )
+    else:
+        X = np.zeros_like(B) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+        if X.shape != B.shape:
+            raise ReproError(f"x0 shape {X.shape} != rhs shape {B.shape}")
 
-    R = B - operator(X)
-    bnorm = np.sqrt(_col_dots(B, B))
-    # Zero RHS columns are solved by zeros immediately; reset their
-    # iterate AND residual so a nonzero x0 cannot leak a stale residual
-    # norm into the report for a column whose true residual is 0.
-    zero_rhs = bnorm == 0.0
-    X[..., zero_rhs] = 0.0
-    R[..., zero_rhs] = 0.0
-    P = R.copy()
-    rs = _col_dots(R, R)
+        R = B - operator(X)
+        bnorm = np.sqrt(_col_dots(B, B))
+        # Zero RHS columns are solved by zeros immediately; reset their
+        # iterate AND residual so a nonzero x0 cannot leak a stale residual
+        # norm into the report for a column whose true residual is 0.
+        zero_rhs = bnorm == 0.0
+        X[..., zero_rhs] = 0.0
+        R[..., zero_rhs] = 0.0
+        P = R.copy()
+        rs = _col_dots(R, R)
 
-    norms = [np.sqrt(rs)]
-    converged = zero_rhs | (norms[0] <= tol * bnorm)
-    if np.all(converged):
-        return BlockCGResult(
-            X=X, converged=converged, iterations=0, residual_norms=norms
-        )
-    P[..., converged] = 0.0
+        norms = [np.sqrt(rs)]
+        converged = zero_rhs | (norms[0] <= tol * bnorm)
+        if np.all(converged):
+            return BlockCGResult(
+                X=X, converged=converged, iterations=0, residual_norms=norms
+            )
+        P[..., converged] = 0.0
+        start = 0
 
     # One scratch block keeps the per-iteration linear algebra
     # allocation-free: for wide blocks the vector updates otherwise cost
     # a noticeable fraction of the shared operator action they amortize.
     scratch = np.empty_like(B)
-    for it in range(1, maxiter + 1):
+    for it in range(start + 1, maxiter + 1):
         # Frozen columns keep a zero search direction, so the shared
         # operator action does no stale work on their behalf.
         active = ~converged
@@ -217,6 +406,23 @@ def block_conjugate_gradient(
         P += R
         P[..., converged] = 0.0
         rs = rs_new
+        if (
+            checkpoint is not None
+            and checkpoint_every is not None
+            and it % checkpoint_every == 0
+        ):
+            checkpoint(
+                BlockCGState(
+                    X=X.copy(),
+                    R=R.copy(),
+                    P=P.copy(),
+                    rs=rs.copy(),
+                    bnorm=bnorm.copy(),
+                    converged=converged.copy(),
+                    norms=[n.copy() for n in norms],
+                    iteration=it,
+                )
+            )
 
     return BlockCGResult(
         X=X, converged=converged, iterations=maxiter, residual_norms=norms

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.precision import PrecisionConfig
 from repro.inverse.bayes import LinearBayesianProblem
 from repro.util.blocking import chunk_ranges, validate_max_block_k
+from repro.util.checkpoint import CheckpointError, CheckpointStore, state_fingerprint
 from repro.util.validation import ReproError, check_positive_int
 
 __all__ = ["LowRankPosterior", "randomized_eig"]
@@ -42,6 +43,10 @@ def randomized_eig(
     rng: Optional[np.random.Generator] = None,
     block_operator=None,
     max_block_k: Optional[int] = None,
+    store: Optional[CheckpointStore] = None,
+    checkpoint_key: str = "randomized-eig",
+    fingerprint: Optional[str] = None,
+    resume: bool = False,
 ):
     """Randomized symmetric eigendecomposition of a PSD operator.
 
@@ -62,6 +67,16 @@ def randomized_eig(
     one full-width block, the historical behaviour).  Chunk boundaries
     only regroup GEMM panels, so results match the full-width block to
     rounding.
+
+    With a ``store`` the sketch and every power iteration checkpoint the
+    working block ``Y`` (the expensive state — each stage costs one
+    blocked Hessian application); ``resume=True`` loads the latest
+    snapshot under ``checkpoint_key`` (validated against
+    ``fingerprint``) and replays only the remaining stages.  Each stage
+    picks up the exact saved bits and runs the same operations, so a
+    resumed decomposition equals the uninterrupted one bitwise when the
+    operator is deterministic.  The final projection is not separately
+    checkpointed — losing it replays one stage from the last snapshot.
     """
     check_positive_int(n, "n")
     check_positive_int(rank, "rank")
@@ -86,11 +101,42 @@ def randomized_eig(
         def apply_mat(M: np.ndarray) -> np.ndarray:
             return np.column_stack([operator(M[:, j]) for j in range(M.shape[1])])
 
-    omega = rng.standard_normal((n, k))
-    Y = apply_mat(omega)
-    for _ in range(max(power_iters, 0)):
+    fp = fingerprint if fingerprint is not None else "unkeyed"
+    applies_done = 0
+    Y: Optional[np.ndarray] = None
+    if store is not None and resume and checkpoint_key in store:
+        snap = store.load(
+            checkpoint_key,
+            expect_fingerprint=fingerprint if fingerprint is not None else None,
+        )
+        if snap.meta.get("n") != n or snap.meta.get("k") != k:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_key!r} sketched ({snap.meta.get('n')}, "
+                f"{snap.meta.get('k')}), caller wants ({n}, {k})"
+            )
+        Y = snap.arrays["Y"]
+        applies_done = int(snap.meta["applies_done"])
+
+    def _save_stage() -> None:
+        if store is not None:
+            store.save(
+                checkpoint_key,
+                {"Y": Y},
+                fingerprint=fp,
+                meta={"n": n, "k": k, "applies_done": applies_done},
+            )
+
+    if applies_done == 0:
+        omega = rng.standard_normal((n, k))
+        Y = apply_mat(omega)
+        applies_done = 1
+        _save_stage()
+    total_stages = 1 + max(power_iters, 0)
+    while applies_done < total_stages:
         Q, _ = np.linalg.qr(Y)
         Y = apply_mat(Q)
+        applies_done += 1
+        _save_stage()
     Q, _ = np.linalg.qr(Y)
     T = Q.T @ apply_mat(Q)
     T = 0.5 * (T + T.T)
@@ -131,6 +177,9 @@ class LowRankPosterior:
         rng: Optional[np.random.Generator] = None,
         blocked: bool = True,
         max_block_k: Optional[int] = None,
+        store: Optional[CheckpointStore] = None,
+        checkpoint_key: str = "posterior-eig",
+        resume: bool = False,
     ) -> "LowRankPosterior":
         """Randomized eigendecomposition of Ht with FFT matvec actions.
 
@@ -141,6 +190,13 @@ class LowRankPosterior:
         the pipeline overhead).  ``max_block_k`` chunks each blocked
         stage into ``ceil(width / max_block_k)`` passes to bound the
         engine workspace (matches the grid engine's knob).
+
+        With a ``store`` each eig stage checkpoints under
+        ``checkpoint_key``, fingerprinted by the p2o kernel, noise level
+        and precision config — resuming against a *different* problem
+        raises a typed error instead of silently converging to the wrong
+        posterior.  ``resume=True`` continues from the latest snapshot;
+        ``hessian_actions`` then counts only the post-resume actions.
         """
         cfg = PrecisionConfig.parse(config)
         nt, nm = problem.p2o.nt, problem.p2o.nm
@@ -166,6 +222,9 @@ class LowRankPosterior:
             HW = problem.p2o.applyT_block(FW, config=cfg)
             return problem.prior.apply_sqrt_t_block(HW).reshape(n, j)
 
+        fingerprint = state_fingerprint(
+            problem.p2o.matrix.blocks, float(problem.noise_std), str(cfg)
+        )
         lam, V = randomized_eig(
             None if blocked else ht_action,
             n,
@@ -175,6 +234,10 @@ class LowRankPosterior:
             rng=rng,
             block_operator=ht_block_action if blocked else None,
             max_block_k=max_block_k if blocked else None,
+            store=store,
+            checkpoint_key=checkpoint_key,
+            fingerprint=fingerprint,
+            resume=resume,
         )
         return cls(
             problem=problem,

@@ -15,13 +15,14 @@ scale without allocating the arrays:
   showing every phase is memory-bound (why bandwidth is the metric).
 """
 
-from repro.perf.phase_model import modeled_timing, phase_times
+from repro.perf.phase_model import modeled_timing, phase_times, recovery_cost_model
 from repro.perf.scaling import ScalingPoint, scaling_sweep, matvec_time_at_scale
 from repro.perf.roofline import arithmetic_intensity, is_memory_bound, roofline_time
 
 __all__ = [
     "modeled_timing",
     "phase_times",
+    "recovery_cost_model",
     "ScalingPoint",
     "scaling_sweep",
     "matvec_time_at_scale",

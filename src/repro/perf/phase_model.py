@@ -42,7 +42,82 @@ __all__ = [
     "modeled_timing",
     "fft_traffic_bytes",
     "overlapped_chunk_schedule",
+    "recovery_cost_model",
 ]
+
+
+def recovery_cost_model(
+    work_s: float,
+    mtbf_s: float,
+    checkpoint_s: float,
+    restart_s: float,
+    interval_s: Optional[float] = None,
+) -> Dict[str, float]:
+    """Expected wall time of a checkpointed run under random rank failures.
+
+    The Young/Daly first-order model, applied to the elastic grid: a run
+    of ``work_s`` useful seconds checkpoints every ``interval_s`` seconds
+    (``checkpoint_s`` per snapshot — e.g. one
+    :meth:`~repro.util.checkpoint.CheckpointStore.save` of the block-CG
+    state), and each failure costs ``restart_s`` (grid rebuild +
+    re-partition + engine reconstruction on the survivors) plus on
+    average half an interval of lost work.  Failures arrive at rate
+    ``1 / mtbf_s`` (system MTBF — per-device MTBF divided by the device
+    count); ``mtbf_s = math.inf`` models a failure-free machine.
+
+    When ``interval_s`` is omitted the Young optimum
+    ``sqrt(2 * checkpoint_s * mtbf_s)`` is used (capped at ``work_s`` —
+    checkpointing less than once per run is just one final snapshot).
+
+    Returns a dict:
+
+    * ``interval_s`` — the interval actually modeled;
+    * ``optimal_interval_s`` — the Young optimum at these costs;
+    * ``n_checkpoints`` — snapshots taken (``work_s / interval_s``);
+    * ``checkpoint_overhead_s`` — total seconds spent snapshotting;
+    * ``expected_failures`` — failures over the protected run;
+    * ``rework_s`` — expected lost-work replay (half an interval each);
+    * ``restart_overhead_s`` — expected grid-rebuild seconds;
+    * ``expected_s`` — expected wall: work + all three overheads;
+    * ``slowdown`` — ``expected_s / work_s`` (1.0 on a failure-free
+      machine with free checkpoints).
+    """
+    if work_s <= 0:
+        raise ReproError(f"work_s must be > 0, got {work_s}")
+    if mtbf_s <= 0:
+        raise ReproError(f"mtbf_s must be > 0, got {mtbf_s}")
+    if checkpoint_s < 0 or restart_s < 0:
+        raise ReproError(
+            "checkpoint_s and restart_s must be >= 0, got "
+            f"{checkpoint_s} and {restart_s}"
+        )
+    if math.isinf(mtbf_s):
+        optimal = float(work_s)
+    else:
+        optimal = min(float(work_s), math.sqrt(2.0 * checkpoint_s * mtbf_s))
+        optimal = max(optimal, 1e-12) if checkpoint_s > 0 else float(work_s)
+    interval = float(interval_s) if interval_s is not None else optimal
+    if interval <= 0:
+        raise ReproError(f"interval_s must be > 0, got {interval_s}")
+    interval = min(interval, float(work_s))
+    n_ckpt = work_s / interval
+    ckpt_overhead = n_ckpt * checkpoint_s
+    protected = work_s + ckpt_overhead
+    failures = 0.0 if math.isinf(mtbf_s) else protected / mtbf_s
+    rework = failures * (interval / 2.0)
+    restart_overhead = failures * restart_s
+    expected = protected + rework + restart_overhead
+    return {
+        "interval_s": interval,
+        "optimal_interval_s": optimal,
+        "n_checkpoints": n_ckpt,
+        "checkpoint_overhead_s": ckpt_overhead,
+        "expected_failures": failures,
+        "rework_s": rework,
+        "restart_overhead_s": restart_overhead,
+        "expected_s": expected,
+        "slowdown": expected / work_s,
+    }
 
 
 def overlapped_chunk_schedule(

@@ -34,6 +34,7 @@ from repro.perf.phase_model import (
     block_phase_times,
     overlapped_chunk_schedule,
     phase_times,
+    recovery_cost_model,
 )
 from repro.util.blocking import chunk_ranges
 from repro.util.dtypes import real_dtype
@@ -500,6 +501,14 @@ class ScalingPoint:
     charged serially after the two-stream schedule vs fused as the third
     stream; :attr:`host_overlap_speedup` is their ratio.  Both are 0.0
     when the sweep ran without a host model.
+
+    ``system_mtbf_s`` / ``recovery_slowdown`` are the fault-tolerance
+    columns: the machine-level mean time between failures at this GPU
+    count (per-GPU MTBF divided by ``p`` — more devices, more failures)
+    and the expected wall-time inflation of a nominal job under the
+    Young/Daly checkpoint model
+    (:func:`~repro.perf.phase_model.recovery_cost_model`).  They default
+    to 0.0 / 1.0 when the sweep ran without an MTBF.
     """
 
     p: int
@@ -515,6 +524,8 @@ class ScalingPoint:
     time_mixed_balanced: float = 0.0
     time_mixed_two_stream_host: float = 0.0
     time_mixed_overlap3: float = 0.0
+    system_mtbf_s: float = 0.0
+    recovery_slowdown: float = 1.0
 
     @property
     def speedup(self) -> float:
@@ -568,6 +579,10 @@ def scaling_sweep(
     max_block_k: Optional[int] = 4,
     skew: float = 0.0,
     host: Optional[HostModel] = None,
+    mtbf_per_gpu_s: Optional[float] = None,
+    job_s: float = 3600.0,
+    checkpoint_s: float = 0.5,
+    restart_s: float = 5.0,
 ) -> list:
     """The Figure-4 time/speedup series over GPU counts.
 
@@ -582,6 +597,15 @@ def scaling_sweep(
     ``host`` model the mixed-config point also carries the serial-host
     and three-stream fused per-vector columns
     (``host_overlap_speedup``).
+
+    ``mtbf_per_gpu_s`` turns on the fault-tolerance columns: each point
+    gets the system-level MTBF (``mtbf_per_gpu_s / p`` — failures
+    multiply with the fleet) and the expected slowdown of a ``job_s``-
+    second job under the Young/Daly checkpoint model at that MTBF
+    (:func:`~repro.perf.phase_model.recovery_cost_model` with
+    ``checkpoint_s`` per snapshot and ``restart_s`` per grid rebuild).
+    The slowdown grows with ``p`` even though per-matvec time shrinks —
+    the cost of riding an elastic grid at scale.
     """
     points = []
     for i, p in enumerate(gpu_counts):
@@ -620,6 +644,19 @@ def scaling_sweep(
                 ),
                 time_mixed_overlap3=(
                     blocked_mixed["overlapped3"] / k if host is not None else 0.0
+                ),
+                system_mtbf_s=(
+                    mtbf_per_gpu_s / p if mtbf_per_gpu_s is not None else 0.0
+                ),
+                recovery_slowdown=(
+                    recovery_cost_model(
+                        job_s,
+                        mtbf_per_gpu_s / p,
+                        checkpoint_s,
+                        restart_s,
+                    )["slowdown"]
+                    if mtbf_per_gpu_s is not None
+                    else 1.0
                 ),
             )
         )

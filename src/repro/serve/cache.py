@@ -43,6 +43,7 @@ from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.elastic import ElasticEngine
 from repro.core.matvec import FFTMatvec
 from repro.core.parallel import ParallelFFTMatvec
 from repro.core.toeplitz import BlockTriangularToeplitz
@@ -57,7 +58,7 @@ __all__ = [
     "EngineCache",
 ]
 
-Engine = Union[FFTMatvec, ParallelFFTMatvec]
+Engine = Union[FFTMatvec, ParallelFFTMatvec, ElasticEngine]
 
 
 def operator_fingerprint(
@@ -110,6 +111,10 @@ def engine_footprint(engine: Engine) -> int:
     budget covers the whole simulated machine's share, matching
     :meth:`~repro.core.parallel.ParallelFFTMatvec.workspace_report`.
     """
+    if isinstance(engine, ElasticEngine):
+        # Measure the *current* grid engine — after a recovery reshape
+        # the footprint is the survivors', not the original grid's.
+        return engine_footprint(engine.engine)
     if isinstance(engine, ParallelFFTMatvec):
         total = sum(_single_engine_bytes(e) for e in engine.engines.values())
         if engine.workspace is not None:
@@ -126,9 +131,18 @@ class CacheStats:
     hits: int  # get() calls served from the cache
     misses: int  # get() calls that built an engine
     evictions: int  # engines dropped (LRU pressure or explicit)
+    stale_evictions: int  # engines dropped because their grid reshaped
     budget_bytes: int  # the configured byte budget (allocator capacity)
     in_use_bytes: int  # bytes currently charged against the budget
     peak_bytes: int  # high-water mark of in_use_bytes
+
+
+def _engine_geometry(engine: Engine) -> Optional[Tuple]:
+    """The engine's geometry key, or None for engines without one."""
+    key_fn = getattr(engine, "geometry_key", None)
+    if key_fn is None:
+        return None
+    return key_fn()
 
 
 @dataclass
@@ -138,6 +152,7 @@ class _CacheEntry:
     engine: Engine
     alloc: Allocation
     footprint: int  # unrounded bytes (alloc.nbytes is alignment-rounded)
+    geometry: Optional[Tuple] = None  # geometry_key() at admission
 
 
 class EngineCache:
@@ -176,6 +191,7 @@ class EngineCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stale_evictions = 0
 
     # -- admission / lookup ---------------------------------------------------
     def get(
@@ -187,19 +203,34 @@ class EngineCache:
         ``builder()`` (raising :class:`ReproError` when none is given),
         measures the new engine's footprint and charges it against the
         budget, evicting least-recently-used entries as needed.
+
+        A hit also re-checks the engine's ``geometry_key()`` against the
+        one recorded at admission.  Elastic engines reshape in place
+        when a rank dies mid-run, and a reshaped engine must never be
+        served as if it still ran the admitted geometry — its per-rank
+        shapes, collectives and footprint all changed.  A mismatch
+        evicts the stale entry (counted in ``stale_evictions``) and
+        rebuilds through ``builder`` as if it were a miss.
         """
         entry = self._entries.get(key)
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry.engine
+            geometry = _engine_geometry(entry.engine)
+            if geometry != entry.geometry:
+                self.stale_evictions += 1
+                self.evict(key)
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry.engine
         if builder is None:
             raise ReproError(f"engine {key!r} is not cached and no builder given")
         self.misses += 1
         engine = builder()
         footprint = engine_footprint(engine)
         alloc = self._reserve(footprint, tag=f"engine/{key}")
-        self._entries[key] = _CacheEntry(engine, alloc, footprint)
+        self._entries[key] = _CacheEntry(
+            engine, alloc, footprint, geometry=_engine_geometry(engine)
+        )
         return engine
 
     def update_footprint(self, key: str) -> int:
@@ -215,6 +246,10 @@ class EngineCache:
         entry = self._entries.get(key)
         if entry is None:
             raise ReproError(f"engine {key!r} is not cached")
+        # An elastic engine that recovered *during* the flush reshaped in
+        # place and finished the pass on the new grid; re-record its
+        # geometry so the next hit serves it instead of evicting it.
+        entry.geometry = _engine_geometry(entry.engine)
         footprint = engine_footprint(entry.engine)
         if footprint == entry.footprint:
             return footprint
@@ -246,6 +281,8 @@ class EngineCache:
     @staticmethod
     def _release_engine(engine: Engine) -> None:
         """Free an evicted engine's arenas so the bytes really return."""
+        if isinstance(engine, ElasticEngine):
+            engine = engine.engine
         if isinstance(engine, ParallelFFTMatvec):
             for rank_engine in engine.engines.values():
                 if rank_engine.workspace is not None:
@@ -300,6 +337,7 @@ class EngineCache:
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
+            stale_evictions=self.stale_evictions,
             budget_bytes=self.budget_bytes,
             in_use_bytes=self.allocator.in_use,
             peak_bytes=self.allocator.peak,

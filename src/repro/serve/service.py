@@ -57,6 +57,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.matvec import FFTMatvec
+from repro.comm.fault import RankFailure
 from repro.core.operator import ForwardOperator, GaussNewtonHessian, IdentityOperator
 from repro.core.precision import PrecisionConfig
 from repro.core.toeplitz import BlockTriangularToeplitz
@@ -124,6 +125,9 @@ class ServiceStats:
     coalesced_requests: int = 0  # requests that shared a flush (batch >= 2)
     max_batch: int = 0  # widest flush seen
     batched_columns: int = 0  # total request columns across flushes
+    rank_failures: int = 0  # flushes whose engine died mid-pass
+    flush_retries: int = 0  # retry passes issued after an engine death
+    budget_exhausted: int = 0  # requests failed by the tenant failure budget
     latencies_s: List[float] = field(default_factory=list)  # per request
 
     @property
@@ -191,6 +195,9 @@ class SolverService:
         max_inflight_per_tenant: Optional[int] = None,
         tenant_weights: Optional[Dict[str, float]] = None,
         deterministic: bool = True,
+        max_flush_retries: int = 2,
+        retry_backoff_s: float = 0.0,
+        tenant_failure_budget: Optional[int] = None,
     ) -> None:
         if max_block_k < 1:
             raise ReproError(f"max_block_k must be >= 1, got {max_block_k}")
@@ -198,6 +205,19 @@ class SolverService:
             raise ReproError(f"window must be >= 0, got {window}")
         if max_pending < 1:
             raise ReproError(f"max_pending must be >= 1, got {max_pending}")
+        if max_flush_retries < 0:
+            raise ReproError(
+                f"max_flush_retries must be >= 0, got {max_flush_retries}"
+            )
+        if retry_backoff_s < 0:
+            raise ReproError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
+        if tenant_failure_budget is not None and tenant_failure_budget < 0:
+            raise ReproError(
+                "tenant_failure_budget must be >= 0, got "
+                f"{tenant_failure_budget}"
+            )
         for tenant, w in (tenant_weights or {}).items():
             if w <= 0:
                 raise ReproError(f"tenant {tenant!r} weight must be > 0, got {w}")
@@ -208,6 +228,10 @@ class SolverService:
         self.max_inflight_per_tenant = max_inflight_per_tenant
         self.tenant_weights = dict(tenant_weights or {})
         self.deterministic = bool(deterministic)
+        self.max_flush_retries = int(max_flush_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.tenant_failure_budget = tenant_failure_budget
+        self._tenant_failures: Dict[str, int] = {}
 
         self._builders: Dict[str, Callable[[], Any]] = {}
         self._shapes: Dict[str, Tuple[int, int, int]] = {}
@@ -352,6 +376,10 @@ class SolverService:
     def stats(self) -> ServiceStats:
         """The live cumulative counters (not a copy)."""
         return self._stats
+
+    def tenant_failures(self) -> Dict[str, int]:
+        """Rank failures charged to each tenant so far (a copy)."""
+        return dict(self._tenant_failures)
 
     # -- submission internals -------------------------------------------------
     def _shape(self, handle: str) -> Tuple[int, int, int]:
@@ -507,28 +535,71 @@ class SolverService:
         self._pending_total -= len(batch)
         self._flushing.add(gkey)
         loop = asyncio.get_running_loop()
+        attempt = 0
         try:
-            columns = await loop.run_in_executor(
-                self._executor, self._execute, gkey, batch
-            )
-        except Exception as exc:  # noqa: BLE001 - fan the failure out
-            for req in batch:
-                if not req.future.done():
-                    req.future.set_exception(exc)
-            self._stats.failed += len(batch)
-        else:
-            t_done = time.perf_counter()
-            k = len(batch)
-            self._stats.flushes += 1
-            self._stats.batched_columns += k
-            self._stats.max_batch = max(self._stats.max_batch, k)
-            if k >= 2:
-                self._stats.coalesced_requests += k
-            for req, col in zip(batch, columns):
-                self._stats.latencies_s.append(t_done - req.t_submit)
-                self._stats.completed += 1
-                if not req.future.done():
-                    req.future.set_result(col)
+            while batch:
+                try:
+                    columns = await loop.run_in_executor(
+                        self._executor, self._execute, gkey, batch
+                    )
+                except RankFailure as exc:
+                    # A rank died under this batch's engine.  The engine's
+                    # grid is gone — evict it so the retry rebuilds a fresh
+                    # (possibly reshaped) one through the builder, then
+                    # charge each tenant's failure budget and retry the
+                    # survivors with exponential backoff.
+                    self._stats.rank_failures += 1
+                    self.cache.evict(gkey[0])
+                    attempt += 1
+                    survivors: List[_Request] = []
+                    for req in batch:
+                        n = self._tenant_failures.get(req.tenant, 0) + 1
+                        self._tenant_failures[req.tenant] = n
+                        if (
+                            self.tenant_failure_budget is not None
+                            and n > self.tenant_failure_budget
+                        ):
+                            self._stats.budget_exhausted += 1
+                            self._stats.failed += 1
+                            if not req.future.done():
+                                req.future.set_exception(exc)
+                        else:
+                            survivors.append(req)
+                    batch = survivors
+                    if not batch:
+                        break
+                    if attempt > self.max_flush_retries:
+                        for req in batch:
+                            if not req.future.done():
+                                req.future.set_exception(exc)
+                        self._stats.failed += len(batch)
+                        break
+                    self._stats.flush_retries += 1
+                    if self.retry_backoff_s > 0:
+                        await asyncio.sleep(
+                            self.retry_backoff_s * (2 ** (attempt - 1))
+                        )
+                    continue
+                except Exception as exc:  # noqa: BLE001 - fan the failure out
+                    for req in batch:
+                        if not req.future.done():
+                            req.future.set_exception(exc)
+                    self._stats.failed += len(batch)
+                    break
+                else:
+                    t_done = time.perf_counter()
+                    k = len(batch)
+                    self._stats.flushes += 1
+                    self._stats.batched_columns += k
+                    self._stats.max_batch = max(self._stats.max_batch, k)
+                    if k >= 2:
+                        self._stats.coalesced_requests += k
+                    for req, col in zip(batch, columns):
+                        self._stats.latencies_s.append(t_done - req.t_submit)
+                        self._stats.completed += 1
+                        if not req.future.done():
+                            req.future.set_result(col)
+                    break
         finally:
             self._flushing.discard(gkey)
             if self._groups.get(gkey):

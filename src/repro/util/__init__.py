@@ -25,6 +25,15 @@ from repro.util.validation import (
     ReproError,
 )
 from repro.util.tables import render_table, format_si, format_seconds
+from repro.util.checkpoint import (
+    CheckpointError,
+    CheckpointFingerprintError,
+    CheckpointNotFoundError,
+    CheckpointSchemaError,
+    CheckpointStore,
+    Snapshot,
+    state_fingerprint,
+)
 
 __all__ = [
     "Precision",
@@ -50,4 +59,11 @@ __all__ = [
     "render_table",
     "format_si",
     "format_seconds",
+    "CheckpointError",
+    "CheckpointFingerprintError",
+    "CheckpointNotFoundError",
+    "CheckpointSchemaError",
+    "CheckpointStore",
+    "Snapshot",
+    "state_fingerprint",
 ]

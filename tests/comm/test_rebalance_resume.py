@@ -1,0 +1,110 @@
+"""Checkpoint/resume tests for the measure -> rebalance loop.
+
+Each rebalance round costs an engine build plus a full workload run, so
+the loop snapshots its search state after every measured round.  A run
+killed between rounds and resumed from the store must finish with the
+same partition, total round count, and convergence flag as the
+uninterrupted loop (the simulated engines are deterministic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.balance import measure_rebalance_loop
+from repro.comm.grid import ProcessGrid
+from repro.comm.netmodel import SIMPLE_NETWORK
+from repro.comm.partition import skewed_extents
+from repro.core.parallel import ParallelFFTMatvec
+from repro.core.toeplitz import BlockTriangularToeplitz
+from repro.gpu.specs import MI300X
+from repro.util.checkpoint import (
+    CheckpointError,
+    CheckpointFingerprintError,
+    CheckpointStore,
+    state_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(42)
+    nt, nd, nm = 128, 16, 256
+    matrix = BlockTriangularToeplitz.random(nt, nd, nm, rng=rng, decay=0.05)
+    D = rng.standard_normal((nt, nd, 8))
+    return matrix, D
+
+
+def _loop(problem, **kw):
+    matrix, D = problem
+
+    def make(col_ranges=None):
+        grid = ProcessGrid(2, 2, net=SIMPLE_NETWORK)
+        return ParallelFFTMatvec(
+            matrix, grid, spec=MI300X, max_block_k=4, col_ranges=col_ranges
+        )
+
+    return measure_rebalance_loop(
+        make,
+        lambda e: e.rmatmat(D, overlap=False),
+        axis="col",
+        initial=skewed_extents(matrix.nm, 2, skew=0.5),
+        min_part=2,
+        rtol=0.0,
+        **kw,
+    )
+
+
+class TestRebalanceResume:
+    def test_resumed_loop_matches_uninterrupted(self, problem):
+        full = _loop(problem, max_rounds=6)
+        assert full.rounds >= 2  # the skewed start needs several rounds
+
+        fp = state_fingerprint(problem[0].blocks, "col")
+        store = CheckpointStore()
+        # Interrupt: the round cap plays the role of a crash between
+        # rounds — the snapshot of round 1 is on the store.
+        partial = _loop(problem, max_rounds=1, store=store, fingerprint=fp)
+        assert not partial.converged
+        assert "rebalance" in store
+
+        resumed = _loop(
+            problem, max_rounds=6, store=store, fingerprint=fp, resume=True
+        )
+        assert resumed.extents == full.extents
+        assert resumed.rounds == full.rounds
+        assert resumed.converged == full.converged
+        # history holds only post-resume rounds; rounds counts the total.
+        assert len(resumed.history) == full.rounds - 1
+
+    def test_resume_rejects_axis_mismatch(self, problem):
+        store = CheckpointStore()
+        _loop(problem, max_rounds=1, store=store)
+        matrix, D = problem
+
+        def make(col_ranges=None):
+            grid = ProcessGrid(2, 2, net=SIMPLE_NETWORK)
+            return ParallelFFTMatvec(matrix, grid, spec=MI300X, max_block_k=4)
+
+        with pytest.raises(CheckpointError):
+            measure_rebalance_loop(
+                make,
+                lambda e: e.rmatmat(D, overlap=False),
+                axis="row",
+                store=store,
+                checkpoint_key="rebalance",
+                resume=True,
+            )
+
+    def test_resume_rejects_wrong_fingerprint(self, problem):
+        store = CheckpointStore()
+        _loop(problem, max_rounds=1, store=store, fingerprint="aaaa")
+        with pytest.raises(CheckpointFingerprintError):
+            _loop(
+                problem, max_rounds=6, store=store, fingerprint="bbbb", resume=True
+            )
+
+    def test_resume_without_checkpoint_starts_fresh(self, problem):
+        # resume=True with an empty store is a cold start, not an error.
+        store = CheckpointStore()
+        res = _loop(problem, max_rounds=6, store=store, resume=True)
+        assert res.rounds >= 1

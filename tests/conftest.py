@@ -2,14 +2,64 @@
 
 from __future__ import annotations
 
+import os
+import zlib
+
 import numpy as np
 import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: seeded fault-injection test (rerun a failure with "
+        "REPRO_CHAOS_SEED=<printed seed>)",
+    )
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG; tests needing other seeds construct their own."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def chaos_seed(request) -> int:
+    """The seed driving this test's fault injection.
+
+    Stable per test (derived from the node id) so chaos runs are
+    reproducible by default; ``REPRO_CHAOS_SEED`` overrides it globally,
+    which is how a CI failure is replayed locally — the seed is printed
+    at setup, so a failing test's output always shows the value to
+    export.
+    """
+    env = os.environ.get("REPRO_CHAOS_SEED")
+    if env is not None:
+        seed = int(env)
+    else:
+        seed = zlib.crc32(request.node.nodeid.encode()) & 0x7FFFFFFF
+    print(f"\n[chaos] REPRO_CHAOS_SEED={seed} ({request.node.nodeid})")
+    return seed
+
+
+@pytest.fixture
+def failure_schedule(chaos_seed):
+    """Factory for seeded :class:`repro.comm.fault.FailureSchedule`\\ s.
+
+    ``failure_schedule(size)`` draws kill points from this test's
+    ``chaos_seed``; keyword args pass through to
+    :meth:`FailureSchedule.seeded` (``n_failures``, ``horizon``,
+    ``first``).  An explicit ``seed=`` overrides the fixture seed for
+    tests that loop over many schedules.
+    """
+    from repro.comm.fault import FailureSchedule
+
+    def make(size: int, seed: int | None = None, **kwargs) -> FailureSchedule:
+        return FailureSchedule.seeded(
+            chaos_seed if seed is None else seed, size, **kwargs
+        )
+
+    return make
 
 
 def rel_err(a: np.ndarray, b: np.ndarray) -> float:

@@ -1,0 +1,280 @@
+"""Checkpoint/resume property tests for the CG solvers and posterior eig.
+
+The checkpoint satellite of the fault-tolerance PR: a solve resumed
+from a :class:`CGState` / :class:`BlockCGState` captured at *any*
+iteration boundary must replay the exact floating-point recurrence —
+bitwise-identical iterates, residual histories, and iteration counts —
+including after a round-trip through :class:`CheckpointStore` arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.inverse.cg import (
+    BlockCGState,
+    CGState,
+    block_conjugate_gradient,
+    conjugate_gradient,
+)
+from repro.inverse.posterior import randomized_eig
+from repro.util.checkpoint import (
+    CheckpointError,
+    CheckpointFingerprintError,
+    CheckpointStore,
+    state_fingerprint,
+)
+from repro.util.validation import ReproError
+
+N = 24
+K = 3
+TOL = 1e-10
+
+
+@pytest.fixture(scope="module")
+def spd():
+    """A small dense SPD system that takes a dozen-plus CG iterations."""
+    rng = np.random.default_rng(321)
+    B = rng.standard_normal((N, N))
+    A = B @ B.T + N * np.eye(N)
+    b = rng.standard_normal(N)
+    B_rhs = rng.standard_normal((N, K))
+    return A, b, B_rhs
+
+
+def _op(A):
+    return lambda x: A @ x
+
+
+class TestVectorCGResume:
+    def test_resume_at_every_boundary_is_bitwise(self, spd):
+        A, b, _ = spd
+        states = []
+        full = conjugate_gradient(
+            _op(A), b, tol=TOL, checkpoint_every=1, checkpoint=states.append
+        )
+        assert full.converged
+        assert full.iterations > 5
+        # Checkpoints exist at every non-final iteration boundary.
+        assert [s.iteration for s in states] == list(
+            range(1, full.iterations)
+        )
+        for state in states:
+            resumed = conjugate_gradient(_op(A), b, tol=TOL, resume=state)
+            assert np.array_equal(resumed.x, full.x), (
+                f"resume at iteration {state.iteration} changed bits"
+            )
+            assert resumed.iterations == full.iterations
+            assert resumed.residual_norms == full.residual_norms
+            assert resumed.converged
+
+    def test_resume_does_not_mutate_the_state(self, spd):
+        A, b, _ = spd
+        states = []
+        conjugate_gradient(
+            _op(A), b, tol=TOL, checkpoint_every=2, checkpoint=states.append
+        )
+        state = states[0]
+        x_before = state.x.copy()
+        conjugate_gradient(_op(A), b, tol=TOL, resume=state)
+        # A second resume from the very same state still matches.
+        assert np.array_equal(state.x, x_before)
+        again = conjugate_gradient(_op(A), b, tol=TOL, resume=state)
+        assert np.array_equal(
+            again.x, conjugate_gradient(_op(A), b, tol=TOL).x
+        )
+
+    def test_store_roundtrip_preserves_bitwise_resume(self, spd, tmp_path):
+        A, b, _ = spd
+        states = []
+        full = conjugate_gradient(
+            _op(A), b, tol=TOL, checkpoint_every=3, checkpoint=states.append
+        )
+        store = CheckpointStore(root=str(tmp_path / "ckpt"))
+        fp = state_fingerprint(A, b, TOL)
+        state = states[-1]
+        store.save("cg", state.to_arrays(), fingerprint=fp, step=state.iteration)
+        snap = store.load("cg", expect_fingerprint=fp)
+        restored = CGState.from_arrays(snap.arrays)
+        assert restored.iteration == state.iteration
+        resumed = conjugate_gradient(_op(A), b, tol=TOL, resume=restored)
+        assert np.array_equal(resumed.x, full.x)
+        assert resumed.residual_norms == full.residual_norms
+
+    def test_resume_validation(self, spd):
+        A, b, _ = spd
+        states = []
+        conjugate_gradient(
+            _op(A), b, tol=TOL, checkpoint_every=1, checkpoint=states.append
+        )
+        with pytest.raises(ReproError):
+            conjugate_gradient(_op(A), b[: N - 1], tol=TOL, resume=states[0])
+        with pytest.raises(ReproError):
+            conjugate_gradient(_op(A), b, checkpoint_every=0, checkpoint=states.append)
+
+
+class TestBlockCGResume:
+    def test_resume_at_every_boundary_is_bitwise(self, spd):
+        A, _, B_rhs = spd
+        states = []
+        full = block_conjugate_gradient(
+            _op(A), B_rhs, tol=TOL, checkpoint_every=1, checkpoint=states.append
+        )
+        assert full.all_converged
+        assert len(states) >= 5
+        for state in states:
+            resumed = block_conjugate_gradient(
+                _op(A), B_rhs, tol=TOL, resume=state
+            )
+            assert np.array_equal(resumed.X, full.X), (
+                f"block resume at iteration {state.iteration} changed bits"
+            )
+            assert resumed.iterations == full.iterations
+            assert len(resumed.residual_norms) == len(full.residual_norms)
+            for got, want in zip(resumed.residual_norms, full.residual_norms):
+                assert np.array_equal(got, want)
+
+    def test_store_roundtrip_preserves_bitwise_resume(self, spd):
+        A, _, B_rhs = spd
+        states = []
+        full = block_conjugate_gradient(
+            _op(A), B_rhs, tol=TOL, checkpoint_every=2, checkpoint=states.append
+        )
+        store = CheckpointStore()  # in-memory
+        fp = state_fingerprint(A, B_rhs, TOL)
+        for state in states:
+            store.save(
+                "bcg", state.to_arrays(), fingerprint=fp, step=state.iteration
+            )
+        # Resume from the checkpoint an operator crash would leave behind.
+        snap = store.load("bcg", step=store.latest_step("bcg"))
+        restored = BlockCGState.from_arrays(snap.arrays)
+        resumed = block_conjugate_gradient(
+            _op(A), B_rhs, tol=TOL, resume=restored
+        )
+        assert np.array_equal(resumed.X, full.X)
+        assert np.array_equal(resumed.converged, full.converged)
+
+    def test_fingerprint_guards_wrong_operator(self, spd):
+        A, _, B_rhs = spd
+        states = []
+        block_conjugate_gradient(
+            _op(A), B_rhs, tol=TOL, checkpoint_every=1, checkpoint=states.append
+        )
+        store = CheckpointStore()
+        store.save(
+            "bcg",
+            states[0].to_arrays(),
+            fingerprint=state_fingerprint(A, B_rhs, TOL),
+        )
+        wrong = state_fingerprint(A + 1.0, B_rhs, TOL)
+        with pytest.raises(CheckpointFingerprintError):
+            store.load("bcg", expect_fingerprint=wrong)
+
+
+class _FlakyBlockOp:
+    """Blocked PSD operator that dies on its n-th application."""
+
+    def __init__(self, H, fail_at):
+        self.H = H
+        self.fail_at = fail_at
+        self.calls = 0
+
+    def __call__(self, M):
+        if self.calls == self.fail_at:
+            raise RuntimeError("injected stage failure")
+        self.calls += 1
+        return self.H @ M
+
+
+class TestRandomizedEigResume:
+    @pytest.fixture(scope="class")
+    def psd(self):
+        rng = np.random.default_rng(99)
+        C = rng.standard_normal((30, 30))
+        return C @ C.T
+
+    def test_resume_after_stage_crash_is_bitwise(self, psd):
+        H = psd
+        kwargs = dict(n=30, rank=4, oversample=4, power_iters=2)
+        lam_full, V_full = randomized_eig(
+            None,
+            block_operator=lambda M: H @ M,
+            rng=np.random.default_rng(5),
+            **kwargs,
+        )
+        store = CheckpointStore()
+        fp = state_fingerprint(H, 4)
+        flaky = _FlakyBlockOp(H, fail_at=2)  # dies mid power iteration
+        with pytest.raises(RuntimeError):
+            randomized_eig(
+                None,
+                block_operator=flaky,
+                rng=np.random.default_rng(5),
+                store=store,
+                fingerprint=fp,
+                **kwargs,
+            )
+        assert "randomized-eig" in store  # stages before the crash landed
+        # Resume: the rng is NOT re-consumed (the sketch stage is restored
+        # from the snapshot), so a fresh generator is fine.
+        lam_res, V_res = randomized_eig(
+            None,
+            block_operator=lambda M: H @ M,
+            rng=np.random.default_rng(5),
+            store=store,
+            fingerprint=fp,
+            resume=True,
+            **kwargs,
+        )
+        assert np.array_equal(lam_res, lam_full)
+        assert np.array_equal(V_res, V_full)
+
+    def test_resume_meta_mismatch_raises(self, psd):
+        H = psd
+        store = CheckpointStore()
+        randomized_eig(
+            None,
+            n=30,
+            rank=4,
+            oversample=4,
+            power_iters=1,
+            block_operator=lambda M: H @ M,
+            rng=np.random.default_rng(5),
+            store=store,
+        )
+        with pytest.raises(CheckpointError):
+            randomized_eig(
+                None,
+                n=30,
+                rank=4,
+                oversample=2,  # different sketch width k
+                power_iters=1,
+                block_operator=lambda M: H @ M,
+                rng=np.random.default_rng(5),
+                store=store,
+                resume=True,
+            )
+
+    def test_resume_fingerprint_mismatch_raises(self, psd):
+        H = psd
+        store = CheckpointStore()
+        randomized_eig(
+            None,
+            n=30,
+            rank=4,
+            block_operator=lambda M: H @ M,
+            rng=np.random.default_rng(5),
+            store=store,
+            fingerprint="aaaa",
+        )
+        with pytest.raises(CheckpointFingerprintError):
+            randomized_eig(
+                None,
+                n=30,
+                rank=4,
+                block_operator=lambda M: H @ M,
+                rng=np.random.default_rng(5),
+                store=store,
+                fingerprint="bbbb",
+                resume=True,
+            )
