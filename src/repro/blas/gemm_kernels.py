@@ -42,6 +42,7 @@ from repro.gpu.bandwidth import grid_efficiency, stream_efficiency
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
 from repro.gpu.specs import GPUSpec, MI300X
+from repro.util import checksum as _checksum
 from repro.util.dtypes import Precision
 from repro.util.pairwise import canonical_segments, fold_pairwise
 from repro.util.validation import ReproError
@@ -54,6 +55,7 @@ __all__ = [
     "gemm_strided_batched_reference",
     "pairwise_gemm_strided_batched_reference",
     "pairwise_segment_values",
+    "gemm_checksum_verify",
 ]
 
 _NUMPY = NumpyBackend()
@@ -226,6 +228,61 @@ def pairwise_segment_values(
         sl = (slice(None),) * axis + (slice(lo, hi),)
         values[(s, e)] = fold_pairwise(leaves[sl], axis=axis, backend=be)
     return values
+
+
+def gemm_checksum_verify(
+    A: Any,
+    B: Any,
+    operation: Operation,
+    C: Any,
+    a_conj: Optional[Any] = None,
+    backend: Optional[Backend] = None,
+    phase: str = "sbgemv",
+    rank: Optional[int] = None,
+    context: str = "",
+    rtol: Optional[float] = None,
+) -> None:
+    """Huang–Abraham column-checksum verification of a computed panel.
+
+    The checksum identity: for ``C = op(A) @ B`` the column sums of the
+    output must satisfy ``e^T C == (e^T op(A)) @ B`` — the right-hand
+    side is one extra GEMM row (the checksum row carried alongside the
+    panel), so the check costs ``1/out_rows`` of the GEMM plus one read
+    of ``C``.  A single corrupted element of ``A``, ``B`` or ``C``
+    perturbs at least one column sum by the magnitude of the corruption,
+    which a bit-62 flip makes enormous; rounding noise stays inside a
+    tolerance scaled by ``(e^T |op(A)|) |B|``.  Raises
+    :class:`~repro.util.checksum.SilentCorruption` on mismatch.
+    """
+    be = backend if backend is not None else _NUMPY
+    A = be.asarray(A)
+    B = be.asarray(B)
+    C = be.asarray(C)
+    op = Operation.parse(operation)
+    if op is Operation.N:
+        opA = A
+    elif op is Operation.C:
+        opA = be.transpose(a_conj if a_conj is not None else be.conjugate(A), (0, 2, 1))
+    else:
+        opA = be.transpose(A, (0, 2, 1))
+    out_rows = int(opA.shape[1])
+    ones = be.asarray(np.ones((1, out_rows), dtype=be.dtype_of(A)))
+    # A corrupted panel may hold Inf/NaN; the checksum contractions then
+    # propagate non-finite sums (which the verifier treats as a
+    # detection) without numpy warning noise.
+    with np.errstate(over="ignore", invalid="ignore"):
+        expected = be.matmul(be.matmul(ones, opA), B)
+        got = be.matmul(ones, C)
+    _checksum.verify_gemm_checksums(
+        be.from_device(expected),
+        be.from_device(got),
+        _checksum.gemm_checksum_scale(be.from_device(opA), be.from_device(B)),
+        length=out_rows + int(opA.shape[2]),
+        phase=phase,
+        rank=rank,
+        context=context,
+        rtol=rtol,
+    )
 
 
 # Architecture rescaling is relative to MI300X, matching the SBGEMV

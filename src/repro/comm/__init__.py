@@ -57,7 +57,13 @@ from repro.comm.balance import (
     measure_rebalance_loop,
     recovered_skew_fraction,
 )
-from repro.comm.fault import FailureSchedule, RankFailure
+from repro.comm.fault import (
+    CorruptionSchedule,
+    FailureSchedule,
+    NumericalHealthError,
+    RankFailure,
+    SilentCorruption,
+)
 from repro.comm.rccl import (
     NcclComm,
     NcclDataType,
@@ -91,6 +97,9 @@ __all__ = [
     "recovered_skew_fraction",
     "FailureSchedule",
     "RankFailure",
+    "CorruptionSchedule",
+    "SilentCorruption",
+    "NumericalHealthError",
     "NcclComm",
     "NcclDataType",
     "NcclOp",

@@ -28,6 +28,18 @@ engines (cascading failures are just more entries).  The counter is
 shared by design: one schedule installed on a whole grid sees the same
 deterministic collective sequence the run performs, which is what makes
 a printed seed sufficient to reproduce a chaos failure.
+
+:class:`CorruptionSchedule` is the *fail-silent* sibling: instead of
+killing a rank it flips one bit in a device buffer or collective
+payload at a scheduled event, exactly the way :class:`FailureSchedule`
+schedules kills (same explicit/seeded modes, same shared event counter,
+same fire-once semantics so chunk replays run clean).  The schedule
+itself never raises — the component that fired the event performs the
+flip (:func:`repro.util.checksum.flip_bit`), and the *detection* layer
+(payload digests, ABFT column checksums, Parseval energy checks) raises
+the typed :class:`SilentCorruption`, re-exported here from
+:mod:`repro.util.checksum` together with :class:`NumericalHealthError`
+(the ``validate="guard"`` NaN/Inf boundary check).
 """
 
 from __future__ import annotations
@@ -36,9 +48,16 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.util.checksum import NumericalHealthError, SilentCorruption
 from repro.util.validation import ReproError, check_positive_int
 
-__all__ = ["RankFailure", "FailureSchedule"]
+__all__ = [
+    "RankFailure",
+    "FailureSchedule",
+    "SilentCorruption",
+    "NumericalHealthError",
+    "CorruptionSchedule",
+]
 
 
 class RankFailure(ReproError):
@@ -161,4 +180,133 @@ class FailureSchedule:
         return (
             f"FailureSchedule(pending={self.pending}, fired={len(self.fired)}, "
             f"calls={self.calls}, seed={self.seed})"
+        )
+
+
+class CorruptionSchedule:
+    """Deterministic schedule of single-bit flips, counted over events.
+
+    The fail-silent counterpart of :class:`FailureSchedule`.  Events are
+    the points the engines declare corruptible: every ``bcast`` /
+    ``reduce`` / ``reduce_segments`` on a communicator the schedule is
+    installed on, and every FFT / SBGEMM / IFFT stage of an engine it is
+    installed on — counted in the deterministic order the SPMD loop runs
+    them, shared across installs.  When an event's index is scheduled,
+    :meth:`on_event` *consumes* the entry and returns the target rank;
+    the firing component then flips one bit of the affected buffer
+    (:func:`repro.util.checksum.flip_bit` at :meth:`element_index`, bit
+    :attr:`bit`) — silently, exactly like real SDC.  Detection is the
+    checksum layer's job; a consumed event never re-fires, so the chunk
+    recomputation an :class:`~repro.core.elastic.ElasticEngine` runs
+    after detection is clean (and bitwise-exact under
+    ``reduction="pairwise"``).
+
+    Parameters
+    ----------
+    flips:
+        ``(event_index, rank)`` pairs: flip a bit of ``rank``'s buffer
+        at the ``index``-th event.  Device-site events belong to exactly
+        one engine, which flips its own buffer regardless of the rank
+        value (the rank still labels the draw for seeded schedules).
+    seed:
+        Seeds the element-position generator and records provenance.
+    bit:
+        Bit to flip (default 62, the float64 exponent MSB — the induced
+        delta is never small; clamped per-dtype by ``flip_bit``).
+    """
+
+    def __init__(
+        self,
+        flips: Sequence[Tuple[int, int]] = (),
+        seed: Optional[int] = None,
+        bit: int = 62,
+    ) -> None:
+        self._pending = {}
+        for index, rank in flips:
+            index = int(index)
+            rank = int(rank)
+            if index < 0:
+                raise ReproError(f"event index must be >= 0, got {index}")
+            if rank < 0:
+                raise ReproError(f"rank must be >= 0, got {rank}")
+            if index in self._pending:
+                raise ReproError(
+                    f"duplicate flip at event index {index}; one flip per "
+                    "event (schedule more events for multi-flip campaigns)"
+                )
+            self._pending[index] = rank
+        self.seed = seed
+        self.bit = int(bit)
+        self.calls = 0  # events observed so far, across installs
+        self.injected: List[Tuple[int, int, str, str]] = []
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        size: int,
+        n_flips: int = 1,
+        horizon: int = 32,
+        first: int = 0,
+        bit: int = 62,
+    ) -> "CorruptionSchedule":
+        """Draw ``n_flips`` flip points from a seeded generator.
+
+        Same contract as :meth:`FailureSchedule.seeded`: event indices
+        are distinct draws from ``[first, first + horizon)``, target
+        ranks uniform over ``range(size)``, and the same arguments
+        always produce the same schedule.
+        """
+        check_positive_int(size, "size")
+        check_positive_int(horizon, "horizon")
+        if n_flips < 1:
+            raise ReproError(f"n_flips must be >= 1, got {n_flips}")
+        if n_flips > horizon:
+            raise ReproError(
+                f"cannot place {n_flips} flips in a horizon of {horizon}"
+            )
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(horizon, size=n_flips, replace=False) + first
+        ranks = rng.integers(0, size, size=n_flips)
+        flips = sorted((int(i), int(r)) for i, r in zip(indices, ranks))
+        return cls(flips=flips, seed=int(seed), bit=bit)
+
+    @property
+    def pending(self) -> Tuple[Tuple[int, int], ...]:
+        """Remaining ``(event_index, rank)`` flips, ascending."""
+        return tuple(sorted(self._pending.items()))
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled flip has been injected."""
+        return not self._pending
+
+    def on_event(self, op: str, where: str = "") -> Optional[int]:
+        """Advance the event counter; return the target rank if a flip
+        is due here, else None.
+
+        The entry is consumed *before* the caller injects, so replaying
+        the corrupted work observes a clean schedule.  The injection is
+        recorded in :attr:`injected` as
+        ``(event_index, rank, op, where)``.
+        """
+        index = self.calls
+        self.calls += 1
+        rank = self._pending.pop(index, None)
+        if rank is None:
+            return None
+        self.injected.append((index, int(rank), str(op), str(where)))
+        return int(rank)
+
+    def element_index(self, size: int) -> int:
+        """Seeded flat position of the next flip within a buffer."""
+        check_positive_int(size, "size")
+        return int(self._rng.integers(0, size))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CorruptionSchedule(pending={self.pending}, "
+            f"injected={len(self.injected)}, calls={self.calls}, "
+            f"seed={self.seed}, bit={self.bit})"
         )

@@ -75,6 +75,33 @@ class ProcessGrid:
         for comm in self._col_comms:
             comm.install_failure_schedule(schedule)
 
+    def install_corruption_schedule(self, schedule) -> None:
+        """Attach one :class:`~repro.comm.fault.CorruptionSchedule` grid-wide.
+
+        Same contract as :meth:`install_failure_schedule`: the one
+        schedule object goes on the world communicator and every
+        row/column subcommunicator (shared event counter), and payload
+        verification switches on with it.  Pass ``None`` to disarm.
+        """
+        self.world.install_corruption_schedule(schedule)
+        for comm in self._row_comms:
+            comm.install_corruption_schedule(schedule)
+        for comm in self._col_comms:
+            comm.install_corruption_schedule(schedule)
+
+    def set_payload_verification(self, on: bool) -> None:
+        """Toggle receive-side payload digests on every grid communicator.
+
+        Defense without injection: verification alone catches corruption
+        from any source; it is also implied by installing a corruption
+        schedule.
+        """
+        self.world.verify_payloads = bool(on)
+        for comm in self._row_comms:
+            comm.verify_payloads = bool(on)
+        for comm in self._col_comms:
+            comm.verify_payloads = bool(on)
+
     # -- rank arithmetic -----------------------------------------------------
     def rank_of(self, row: int, col: int) -> int:
         """World rank of grid coordinates (row-major placement)."""

@@ -39,6 +39,7 @@ from repro.comm.collectives import (
     tree_reduce_arrays,
 )
 from repro.comm.netmodel import NetworkModel, SIMPLE_NETWORK
+from repro.util import checksum as _ck
 from repro.util.dtypes import Precision
 from repro.util.timing import SimClock, Stream
 from repro.util.validation import ReproError, check_positive_int
@@ -96,6 +97,13 @@ class SimCommunicator:
         # Optional fault injection (see repro.comm.fault): consulted at
         # the top of every collective; None means no failures ever.
         self.failures = None
+        # Optional fail-silent injection + payload verification: a
+        # CorruptionSchedule flips bits in transported payloads, and
+        # verify_payloads re-checks every received copy against the
+        # sender's digest (on automatically whenever a schedule is
+        # installed; settable on its own for defense-only runs).
+        self.corruption = None
+        self.verify_payloads = False
 
     # -- fault injection -----------------------------------------------------
     def install_failure_schedule(self, schedule) -> None:
@@ -107,6 +115,21 @@ class SimCommunicator:
         """
         self.failures = schedule
 
+    def install_corruption_schedule(self, schedule) -> None:
+        """Attach a :class:`~repro.comm.fault.CorruptionSchedule` (or None).
+
+        Every ``bcast``/``reduce``/``reduce_segments`` then fires one
+        schedule event (shared counter across installs, like the failure
+        schedule's); a due event flips one bit of the target rank's
+        received copy or reduce contribution *in transport*.  Installing
+        a schedule also switches :attr:`verify_payloads` on so the
+        flipped payload is caught at receive and raised as
+        :class:`~repro.comm.fault.SilentCorruption`; disarming with
+        ``None`` switches verification back off.
+        """
+        self.corruption = schedule
+        self.verify_payloads = schedule is not None
+
     def _maybe_fail(self, op: str) -> None:
         """Raise :class:`~repro.comm.fault.RankFailure` if one is due.
 
@@ -116,6 +139,15 @@ class SimCommunicator:
         """
         if self.failures is not None:
             self.failures.on_collective(op, self.name)
+
+    def _corruption_target(self, op: str):
+        """Fire one corruption event; returns (target_rank, event_index)."""
+        if self.corruption is None:
+            return None, None
+        target = self.corruption.on_event(op, self.name)
+        if target is None:
+            return None, None
+        return target % self.size, self.corruption.calls - 1
 
     # -- stream routing -----------------------------------------------------
     @contextlib.contextmanager
@@ -191,21 +223,39 @@ class SimCommunicator:
         usual checkout discipline).
         """
         self._maybe_fail("bcast")
+        target, event = self._corruption_target("bcast")
         be = backend if backend is not None else self.backend
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
         buf = be.asarray(value)
+        verify = self.verify_payloads or target is not None
+        digest = _ck.payload_digest(buf) if verify else None
         self.op_counts["bcast"] += 1
         self._charge(self.size, be.nbytes(buf), phase, op="bcast")
         if workspace is None:
-            return [be.copy(buf) for _ in range(self.size)]
-        copies = []
-        for rank in range(self.size):
-            recv = workspace.buffer(
-                f"{tag}/r{rank}", tuple(buf.shape), be.dtype_of(buf)
+            copies = [be.copy(buf) for _ in range(self.size)]
+        else:
+            copies = []
+            for rank in range(self.size):
+                recv = workspace.buffer(
+                    f"{tag}/r{rank}", tuple(buf.shape), be.dtype_of(buf)
+                )
+                be.copyto(recv, buf)
+                copies.append(recv)
+        if target is not None:
+            # The flip happens "on the wire": the sender's digest is
+            # honest, the target rank's received copy is not.
+            _ck.flip_bit(
+                copies[target],
+                self.corruption.element_index(2 * int(be.size(buf))),
+                bit=self.corruption.bit,
             )
-            be.copyto(recv, buf)
-            copies.append(recv)
+        if verify:
+            for rank, recv in enumerate(copies):
+                _ck.verify_payload(
+                    recv, digest, op="bcast", phase=phase, rank=rank,
+                    collective_index=event, comm_name=self.name,
+                )
         return copies
 
     def reduce(
@@ -223,10 +273,28 @@ class SimCommunicator:
         single precision).
         """
         self._maybe_fail("reduce")
+        target, event = self._corruption_target("reduce")
         be = backend if backend is not None else self.backend
         bufs = self._check_per_rank(arrays, "reduce", be)
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
+        verify = self.verify_payloads or target is not None
+        digests = [_ck.payload_digest(b) for b in bufs] if verify else None
+        if target is not None:
+            # Corrupt the target's contribution in transport — on a copy,
+            # so the caller's partial buffers stay intact for the replay.
+            bufs[target] = be.copy(bufs[target])
+            _ck.flip_bit(
+                bufs[target],
+                self.corruption.element_index(2 * int(be.size(bufs[target]))),
+                bit=self.corruption.bit,
+            )
+        if verify:
+            for rank, b in enumerate(bufs):
+                _ck.verify_payload(
+                    b, digests[rank], op="reduce", phase=phase, rank=rank,
+                    collective_index=event, comm_name=self.name,
+                )
         out = tree_reduce_arrays(bufs, precision=precision, backend=be)
         self.op_counts["reduce"] += 1
         self._charge(self.size, be.nbytes(bufs[0]), phase, op="reduce")
@@ -260,6 +328,7 @@ class SimCommunicator:
         of the determinism tax the benchmarks report.
         """
         self._maybe_fail("reduce")
+        target, event = self._corruption_target("reduce")
         be = backend if backend is not None else self.backend
         if len(segments) != self.size:
             raise ReproError(
@@ -268,6 +337,27 @@ class SimCommunicator:
             )
         if not (0 <= root < self.size):
             raise ReproError(f"root {root} out of range for size {self.size}")
+        verify = self.verify_payloads or target is not None
+        digests = [_ck.table_digest(t) for t in segments] if verify else None
+        if target is not None:
+            # Flip one bit of one of the target's segment panels, on
+            # copies so the caller's tables survive for the replay.
+            segments = list(segments)
+            segments[target] = {
+                key: be.copy(be.asarray(a))
+                for key, a in segments[target].items()
+            }
+            _ck.flip_table_bit(
+                segments[target],
+                self.corruption.element_index(1 << 30),
+                bit=self.corruption.bit,
+            )
+        if verify:
+            for rank, table in enumerate(segments):
+                _ck.verify_table(
+                    table, digests[rank], op="reduce", phase=phase, rank=rank,
+                    collective_index=event, comm_name=self.name,
+                )
         merged: dict = {}
         for rank, table in enumerate(segments):
             if not table:

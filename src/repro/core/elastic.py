@@ -34,7 +34,12 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.comm.balance import balance_extents, linear_cost
-from repro.comm.fault import FailureSchedule, RankFailure
+from repro.comm.fault import (
+    CorruptionSchedule,
+    FailureSchedule,
+    RankFailure,
+    SilentCorruption,
+)
 from repro.comm.grid import ProcessGrid
 from repro.comm.netmodel import NetworkModel, SIMPLE_NETWORK
 from repro.core.parallel import ParallelFFTMatvec
@@ -48,7 +53,13 @@ from repro.util.blocking import (
 )
 from repro.util.validation import ReproError, check_positive_int
 
-__all__ = ["FailureEvent", "RecoveryReport", "elastic_grid_shape", "ElasticEngine"]
+__all__ = [
+    "FailureEvent",
+    "CorruptionEvent",
+    "RecoveryReport",
+    "elastic_grid_shape",
+    "ElasticEngine",
+]
 
 
 def elastic_grid_shape(
@@ -96,18 +107,35 @@ class FailureEvent:
     new_ranks: int
 
 
+@dataclass(frozen=True)
+class CorruptionEvent:
+    """One detected silent-data-corruption and the chunk that absorbed it."""
+
+    chunk: int  # chunk index whose apply tripped a checksum
+    check: str  # which detector fired ("abft" / "energy" / "payload")
+    phase: str  # pipeline phase or collective the check guarded
+    rank: Optional[int]  # rank label carried by the detection, if any
+    attempt: int  # how many detections this chunk has seen (1-based)
+
+
 @dataclass
 class RecoveryReport:
     """Cumulative recovery accounting for one :class:`ElasticEngine`."""
 
     events: List[FailureEvent] = field(default_factory=list)
+    corruption_events: List[CorruptionEvent] = field(default_factory=list)
     rebuilds: int = 0  # grids built beyond the first (failures + resizes)
     chunks_applied: int = 0  # chunks committed, incl. replays
-    chunks_replayed: int = 0  # chunks that ran more than once
+    chunks_replayed: int = 0  # chunks replayed after a rank failure
+    chunks_recomputed: int = 0  # chunks recomputed after a detected SDC
 
     @property
     def failures(self) -> int:
         return len(self.events)
+
+    @property
+    def corruptions(self) -> int:
+        return len(self.corruption_events)
 
 
 class ElasticEngine:
@@ -129,6 +157,23 @@ class ElasticEngine:
         Optional :class:`~repro.comm.fault.FailureSchedule`, installed
         on every grid this engine builds (including recovery rebuilds,
         so multi-kill schedules cascade deterministically).
+    corruptions:
+        Optional :class:`~repro.comm.fault.CorruptionSchedule`,
+        installed the same way.  Armed corruption implies ABFT checks
+        inside every rank engine; a detected flip surfaces as
+        :class:`~repro.comm.fault.SilentCorruption` and is absorbed by
+        recomputing only the corrupted chunk — no grid rebuild, since
+        the engine state is untouched (the flip lived in a transient
+        buffer) and the consumed schedule entry never re-fires.
+    validate:
+        Forwarded to :class:`ParallelFFTMatvec`: ``"guard"``,
+        ``"abft"``, ``"guard+abft"`` or ``True`` turn on boundary
+        checks even with no corruption schedule armed.
+    max_corruption_retries:
+        Per-chunk cap on SDC recomputations; a chunk that keeps failing
+        its checksums past this many retries re-raises the last
+        :class:`SilentCorruption` (a persistent mismatch is a real bug,
+        not a transient flip).
     min_ranks:
         Recovery floor: a failure that would leave fewer survivors than
         this re-raises :class:`RankFailure` instead of reshaping.
@@ -154,6 +199,9 @@ class ElasticEngine:
         workspace: Union[None, bool] = None,
         backend=None,
         failures: Optional[FailureSchedule] = None,
+        corruptions: Optional[CorruptionSchedule] = None,
+        validate: Union[None, bool, str] = None,
+        max_corruption_retries: int = 4,
         min_ranks: int = 1,
         max_failures: int = 8,
         grid_shape: Optional[Tuple[int, int]] = None,
@@ -174,6 +222,11 @@ class ElasticEngine:
         self.workspace = workspace
         self.backend = backend
         self.failures = failures
+        self.corruptions = corruptions
+        self.validate = validate
+        self.max_corruption_retries = check_positive_int(
+            max_corruption_retries, "max_corruption_retries"
+        )
         self.min_ranks = check_positive_int(min_ranks, "min_ranks")
         self.max_failures = check_positive_int(max_failures, "max_failures")
         self.report = RecoveryReport()
@@ -265,9 +318,12 @@ class ElasticEngine:
             col_ranges=list(col_ranges),
             workspace=self.workspace,
             backend=self.backend,
+            validate=self.validate,
         )
         if self.failures is not None:
             self.engine.install_failure_schedule(self.failures)
+        if self.corruptions is not None:
+            self.engine.install_corruption_schedule(self.corruptions)
         if self.n_ranks:
             self.report.rebuilds += 1
         self.n_ranks = n_ranks
@@ -288,6 +344,13 @@ class ElasticEngine:
         """Swap the failure schedule (installed on the live grid too)."""
         self.failures = schedule
         self.engine.install_failure_schedule(schedule)
+
+    def install_corruption_schedule(
+        self, schedule: Optional[CorruptionSchedule]
+    ) -> None:
+        """Swap the corruption schedule (installed on the live grid too)."""
+        self.corruptions = schedule
+        self.engine.install_corruption_schedule(schedule)
 
     def _recover(self, failure: RankFailure, chunk: int) -> None:
         if self.report.failures + 1 > self.max_failures:
@@ -336,8 +399,13 @@ class ElasticEngine:
 
         # Chunk-at-a-time with commit: a failure inside chunk i loses
         # only chunk i — committed columns survive the grid, uncommitted
-        # ones replay on the reshaped survivors.
+        # ones replay on the reshaped survivors.  A detected SDC is even
+        # cheaper: the flip lived in a transient buffer (committed chunks
+        # and the engine's precomputed spectra were never touched), so
+        # only chunk i recomputes, on the *same* grid, and under the
+        # pairwise reduction the recomputed bits equal the clean run's.
         i = 0
+        sdc_retries = 0
         while i < len(ranges):
             j0, j1 = ranges[i]
             apply_fn = self.engine.rmatmat if adjoint else self.engine.matmat
@@ -349,8 +417,26 @@ class ElasticEngine:
                 self._recover(failure, chunk=i)
                 self.report.chunks_replayed += 1
                 continue
+            except SilentCorruption as sdc:
+                if sdc.chunk is None:
+                    sdc.chunk = i
+                sdc_retries += 1
+                self.report.corruption_events.append(
+                    CorruptionEvent(
+                        chunk=i,
+                        check=sdc.check,
+                        phase=sdc.phase,
+                        rank=sdc.rank,
+                        attempt=sdc_retries,
+                    )
+                )
+                if sdc_retries > self.max_corruption_retries:
+                    raise
+                self.report.chunks_recomputed += 1
+                continue
             result[:, :, j0:j1] = chunk_out
             self.report.chunks_applied += 1
+            sdc_retries = 0
             i += 1
         return result
 

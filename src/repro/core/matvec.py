@@ -49,6 +49,7 @@ from repro.core.reorder import soti_to_tosi, tosi_to_soti
 from repro.core.toeplitz import BlockTriangularToeplitz
 from repro.fft.plan import FFTPlan, FFTType
 from repro.gpu.device import SimulatedDevice
+from repro.util import checksum as _chk
 from repro.util.blocking import check_block, check_out_buffer
 from repro.util.dtypes import Precision, cast_to, complex_dtype, real_dtype
 from repro.util.timing import TimingReport
@@ -58,6 +59,30 @@ from repro.util.workspace import Workspace
 __all__ = ["FFTMatvec"]
 
 _PHASES = ("pad", "fft", "sbgemv", "ifft", "unpad")
+
+_VALIDATE_MODES = ("guard", "abft")
+
+
+def _parse_validate(validate) -> frozenset:
+    """Parse a ``validate=`` spec into its mode set.
+
+    ``None``/``False``/``""`` mean no checks; a string is a
+    ``"+"``-separated combination of ``"guard"`` (NaN/Inf at every
+    five-phase boundary) and ``"abft"`` (checksum/energy verification of
+    the compute phases).  ``True`` enables everything.
+    """
+    if validate is None or validate is False or validate == "":
+        return frozenset()
+    if validate is True:
+        return frozenset(_VALIDATE_MODES)
+    modes = frozenset(t for t in str(validate).split("+") if t)
+    bad = modes - set(_VALIDATE_MODES)
+    if bad:
+        raise ReproError(
+            f"unknown validate mode(s) {sorted(bad)}; pick from "
+            f"{list(_VALIDATE_MODES)} joined with '+'"
+        )
+    return modes
 
 
 class FFTMatvec:
@@ -100,6 +125,17 @@ class FFTMatvec:
         partition — including width-1 parts — reproduces the same bits.
         Costs the modeled determinism tax of
         :class:`~repro.blas.gemm_kernels.PairwiseSBGEMM`.
+    validate:
+        SDC defense checks, off by default.  ``"guard"`` runs the
+        NaN/Inf numerical-health guard at every five-phase boundary
+        (raising :class:`~repro.util.checksum.NumericalHealthError`);
+        ``"abft"`` verifies each compute phase algebraically — Parseval
+        energy checks after the FFT/IFFT, Huang–Abraham column checksums
+        after the SBGEMM panel — raising
+        :class:`~repro.util.checksum.SilentCorruption` on mismatch.
+        Combine with ``"guard+abft"`` (or ``True``).  Installing a
+        :class:`~repro.comm.fault.CorruptionSchedule` implies the
+        ``abft`` checks, so every injected flip has a detector armed.
     """
 
     def __init__(
@@ -110,12 +146,17 @@ class FFTMatvec:
         workspace: Union[None, bool, Workspace] = None,
         backend: Union[None, str, Backend] = None,
         reduction: str = "fast",
+        validate: Union[None, bool, str] = None,
     ) -> None:
         if reduction not in ("fast", "pairwise"):
             raise ReproError(
                 f"reduction must be 'fast' or 'pairwise', got {reduction!r}"
             )
         self.reduction = reduction
+        self.validate_modes = _parse_validate(validate)
+        self.rank_label: Optional[int] = None  # grid rank, set by the owner
+        self._corruption = None  # CorruptionSchedule, armed via install_*
+        self.sdc_checks = 0  # abft/energy verifications that passed
         self.matrix = (
             matrix
             if isinstance(matrix, BlockTriangularToeplitz)
@@ -551,6 +592,133 @@ class FFTMatvec:
         be.conjugate(out, out=out)
         return out
 
+    # -- SDC defense: injection sites and algebraic checks ---------------------
+    def install_corruption_schedule(
+        self, schedule, rank: Optional[int] = None
+    ) -> None:
+        """Arm (or disarm, with ``None``) seeded device-buffer corruption.
+
+        The schedule's shared event counter advances at this engine's
+        FFT / SBGEMM / IFFT stages; when an event index is scheduled,
+        the freshly computed stage buffer gets one bit flipped — and the
+        abft checks (implied by an armed schedule) are expected to catch
+        it immediately after.  ``rank`` labels this engine's position in
+        a grid for error messages.
+        """
+        self._corruption = schedule
+        if rank is not None:
+            self.rank_label = int(rank)
+
+    @property
+    def _abft_on(self) -> bool:
+        return "abft" in self.validate_modes or self._corruption is not None
+
+    @property
+    def _guard_on(self) -> bool:
+        return "guard" in self.validate_modes
+
+    def _corruption_where(self) -> str:
+        return (
+            "engine" if self.rank_label is None else f"engine_rank{self.rank_label}"
+        )
+
+    def _maybe_corrupt(self, buf: Any, stage: str) -> None:
+        """Device-site injection: flip one bit of a freshly computed buffer
+        if the armed schedule fires at this event."""
+        sched = self._corruption
+        if sched is None:
+            return
+        if sched.on_event(stage, self._corruption_where()) is None:
+            return
+        arr = np.asarray(buf)
+        floats = int(arr.size) * (2 if arr.dtype.kind == "c" else 1)
+        _chk.flip_bit(arr, sched.element_index(max(1, floats)), bit=sched.bit)
+
+    def _maybe_corrupt_table(self, values: Dict, stage: str) -> None:
+        """Injection site for the pairwise path's segment table."""
+        sched = self._corruption
+        if sched is None:
+            return
+        if sched.on_event(stage, self._corruption_where()) is None:
+            return
+        _chk.flip_table_bit(values, sched.element_index(1 << 30), bit=sched.bit)
+
+    def _guard_check(self, arr: Any, phase: str) -> None:
+        if self._guard_on:
+            _chk.ensure_finite(
+                self.backend.from_device(arr), phase=phase, rank=self.rank_label
+            )
+
+    def _check_forward_energy(self, x: Any, xhat: Any, plan: FFTPlan) -> None:
+        if self._abft_on:
+            plan.verify_forward_energy(x, xhat, phase="fft", rank=self.rank_label)
+            self.sdc_checks += 1
+
+    def _check_inverse_energy(self, xhat: Any, y: Any, plan: FFTPlan) -> None:
+        if self._abft_on:
+            plan.verify_inverse_energy(xhat, y, phase="ifft", rank=self.rank_label)
+            self.sdc_checks += 1
+
+    def _check_gemm(
+        self, panel: Any, result: Any, operation: Operation, precision: Precision
+    ) -> None:
+        """ABFT column-checksum verification of a Phase-3 panel."""
+        if not self._abft_on:
+            return
+        from repro.blas.gemm_kernels import gemm_checksum_verify
+
+        a_conj = (
+            self.spectrum_conj(precision) if operation is Operation.C else None
+        )
+        gemm_checksum_verify(
+            self.spectrum(precision),
+            panel,
+            operation,
+            result,
+            a_conj=a_conj,
+            backend=self.backend,
+            phase="sbgemv",
+            rank=self.rank_label,
+        )
+        self.sdc_checks += 1
+
+    def _check_gemm_segments(
+        self,
+        panel: Any,
+        values: Dict[Tuple[int, int], Any],
+        operation: Operation,
+        precision: Precision,
+    ) -> None:
+        """ABFT verification of a rank's canonical-segment partials.
+
+        The segments tile the rank's whole contraction range, so their
+        elementwise total must satisfy the same column-checksum identity
+        as the undivided local GEMM — one check covers every segment.
+        """
+        if not self._abft_on:
+            return
+        from repro.blas.gemm_kernels import gemm_checksum_verify
+
+        total = None
+        for key in sorted(values.keys()):
+            v = values[key]
+            total = v if total is None else total + v
+        a_conj = (
+            self.spectrum_conj(precision) if operation is Operation.C else None
+        )
+        gemm_checksum_verify(
+            self.spectrum(precision),
+            panel,
+            operation,
+            total,
+            a_conj=a_conj,
+            backend=self.backend,
+            phase="sbgemv",
+            rank=self.rank_label,
+            context="pairwise segments",
+        )
+        self.sdc_checks += 1
+
     # -- the five-phase pipeline -----------------------------------------------
     def _maybe_cast(self, arr: Any, prec: Precision, tag: str) -> Any:
         """Inter-phase cast with the no-op made explicit (and counted).
@@ -677,6 +845,8 @@ class FFTMatvec:
                 phase="pad",
                 workspace=ws,
                 backend=self.backend,
+                validate=self._guard_on,
+                rank=self.rank_label,
             )
 
         # Phase 2: batched forward FFT in its precision.  The input cast
@@ -686,6 +856,9 @@ class FFTMatvec:
             x = self._maybe_cast(x, config.fft, "cast_fft")
             plan = self._plan("fwd", config.fft, batch=x.shape[0])
             xhat = plan.execute(x, phase="fft", workspace=ws)
+            self._maybe_corrupt(xhat, "fft")
+            self._check_forward_energy(x, xhat, plan)
+            self._guard_check(xhat, "fft")
 
         # Reorder to frequency-outer layout at the lower adjacent
         # precision, then present to the SBGEMV at its precision.
@@ -704,6 +877,12 @@ class FFTMatvec:
             if self.backend.dtype_of(vhat) != complex_dtype(config.sbgemv):
                 raise ReproError("internal: SBGEMV input precision mismatch")
             yhat = self._run_sbgemv(vhat, operation, config.sbgemv)
+            self._maybe_corrupt(yhat, "sbgemm")
+            if self._abft_on:
+                self._check_gemm(
+                    vhat[:, :, None], yhat[:, :, None], operation, config.sbgemv
+                )
+            self._guard_check(yhat, "sbgemv")
             reorder_prec = config.reorder_precision("sbgemv", "ifft")
             yhat = tosi_to_soti(
                 yhat,
@@ -720,6 +899,9 @@ class FFTMatvec:
             yhat = self._maybe_cast(yhat, config.ifft, "cast_ifft")
             plan = self._plan("inv", config.ifft, batch=yhat.shape[0])
             y = plan.inverse(yhat, phase="ifft", workspace=ws)
+            self._maybe_corrupt(y, "ifft")
+            self._check_inverse_energy(yhat, y, plan)
+            self._guard_check(y, "ifft")
 
         # Phase 5: unpad (+ reduction across the grid in the parallel
         # engine) in its precision, then return to double.  With an
@@ -736,6 +918,8 @@ class FFTMatvec:
                 workspace=None if dest is not None else ws,
                 out=dest,
                 backend=self.backend,
+                validate=self._guard_on,
+                rank=self.rank_label,
             )
         return self._finalize(res, out, detach=detach)
 
@@ -801,6 +985,8 @@ class FFTMatvec:
                 phase="pad",
                 workspace=ws,
                 backend=self.backend,
+                validate=self._guard_on,
+                rank=self.rank_label,
             )
 
         # Phase 2: one batched forward FFT, batch = k * space.
@@ -808,6 +994,9 @@ class FFTMatvec:
             x = self._maybe_cast(x, config.fft, "cast_fft")
             plan = self._plan("fwd", config.fft, batch=x.shape[0])
             xhat = plan.execute(x, phase="fft", workspace=ws)
+            self._maybe_corrupt(xhat, "fft")
+            self._check_forward_energy(x, xhat, plan)
+            self._guard_check(xhat, "fft")
 
         reorder_prec = config.reorder_precision("fft", "sbgemv")
         with self._phase_ctx("sbgemv"):
@@ -831,6 +1020,9 @@ class FFTMatvec:
                 yhat = self._run_sbgemv_panel(panel, operation, config.sbgemv)
             else:
                 yhat = self._run_sbgemm(panel, operation, config.sbgemv)
+            self._maybe_corrupt(yhat, "sbgemm")
+            self._check_gemm(panel, yhat, operation, config.sbgemv)
+            self._guard_check(yhat, "sbgemv")
             reorder_prec = config.reorder_precision("sbgemv", "ifft")
             yhat = tosi_to_soti(
                 yhat.reshape(self.n_freq, ny * k),
@@ -847,6 +1039,9 @@ class FFTMatvec:
             yhat = self._maybe_cast(yhat, config.ifft, "cast_ifft")
             plan = self._plan("inv", config.ifft, batch=yhat.shape[0])
             y = plan.inverse(yhat, phase="ifft", workspace=ws)
+            self._maybe_corrupt(y, "ifft")
+            self._check_inverse_energy(yhat, y, plan)
+            self._guard_check(y, "ifft")
 
         # Phase 5: one unpad kernel over all k vectors.
         with self._phase_ctx("unpad"):
@@ -860,6 +1055,8 @@ class FFTMatvec:
                 workspace=None if dest is not None else ws,
                 out=dest,
                 backend=self.backend,
+                validate=self._guard_on,
+                rank=self.rank_label,
             )
         return self._finalize(res.reshape(nt, ny, k), out, detach=detach)
 
@@ -920,11 +1117,16 @@ class FFTMatvec:
                 phase="pad",
                 workspace=ws,
                 backend=self.backend,
+                validate=self._guard_on,
+                rank=self.rank_label,
             )
         with self._phase_ctx("fft"):
             x = self._maybe_cast(x, config.fft, "cast_fft")
             plan = self._plan("fwd", config.fft, batch=x.shape[0])
             xhat = plan.execute(x, phase="fft", workspace=ws)
+            self._maybe_corrupt(xhat, "fft")
+            self._check_forward_energy(x, xhat, plan)
+            self._guard_check(xhat, "fft")
         reorder_prec = config.reorder_precision("fft", "sbgemv")
         with self._phase_ctx("sbgemv"):
             vhat = soti_to_tosi(
@@ -940,9 +1142,12 @@ class FFTMatvec:
             if self.backend.dtype_of(vhat) != complex_dtype(config.sbgemv):
                 raise ReproError("internal: SBGEMM input precision mismatch")
             panel = vhat.reshape(self.n_freq, nx, k)
-            return self._run_sbgemm_pairwise_segments(
+            values = self._run_sbgemm_pairwise_segments(
                 panel, operation, config.sbgemv, start, n_global
             )
+            self._maybe_corrupt_table(values, "sbgemm")
+            self._check_gemm_segments(panel, values, operation, config.sbgemv)
+            return values
 
     def _pipeline_block_finish(
         self,
@@ -996,6 +1201,9 @@ class FFTMatvec:
             yhat = self._maybe_cast(yhat, config.ifft, "cast_ifft")
             plan = self._plan("inv", config.ifft, batch=yhat.shape[0])
             y = plan.inverse(yhat, phase="ifft", workspace=ws)
+            self._maybe_corrupt(y, "ifft")
+            self._check_inverse_energy(yhat, y, plan)
+            self._guard_check(y, "ifft")
         with self._phase_ctx("unpad"):
             dest = self._unpad_dest(config, out, (self.nt, y.shape[0]))
             res = unpad_from_soti(
@@ -1007,6 +1215,8 @@ class FFTMatvec:
                 workspace=None if dest is not None else ws,
                 out=dest,
                 backend=self.backend,
+                validate=self._guard_on,
+                rank=self.rank_label,
             )
         return self._finalize(res.reshape(self.nt, ny, k), out, detach=detach)
 

@@ -271,6 +271,13 @@ class ParallelFFTMatvec:
         (``"numpy"``/``"cupy"``/``"torch"``), or None for the
         ``REPRO_BACKEND`` / ``auto`` fallback chain.  Gathered results
         are always host float64 regardless of backend.
+    validate:
+        SDC defense checks, forwarded to every rank engine (see
+        :class:`~repro.core.matvec.FFTMatvec`): ``"guard"`` for NaN/Inf
+        boundary guards, ``"abft"`` for checksum/energy verification,
+        ``"guard+abft"`` or ``True`` for both.  Any enabled mode also
+        switches on receive-side payload digests on every grid
+        communicator, so collective payloads are covered end to end.
     """
 
     def __init__(
@@ -288,6 +295,7 @@ class ParallelFFTMatvec:
         backend: Union[None, str, Backend] = None,
         host: Optional[HostModel] = None,
         overlap_host: bool = True,
+        validate: Union[None, bool, str] = None,
     ) -> None:
         if reduction not in ("fast", "pairwise"):
             raise ReproError(
@@ -359,14 +367,23 @@ class ParallelFFTMatvec:
                     else None
                 )
                 self.devices[(r, c)] = dev
-                self.engines[(r, c)] = FFTMatvec(
+                engine = FFTMatvec(
                     BlockTriangularToeplitz(local),
                     device=dev,
                     use_optimized_sbgemv=use_optimized_sbgemv,
                     workspace=use_workspace,
                     backend=self.backend,
                     reduction=reduction,
+                    validate=validate,
                 )
+                engine.rank_label = grid.rank_of(r, c)
+                self.engines[(r, c)] = engine
+        self.validate = validate
+        if validate:
+            # Any defense mode extends to the wire: verify collective
+            # payload digests at every receive, grid-wide (the silent
+            # clones are armed below, once constructed).
+            grid.set_payload_verification(True)
         # Grid-level arena: broadcast payload staging, per-rank receive
         # buffers and float64 input staging shared by the chunk loop and
         # the vector path (per-rank pipeline buffers live in each
@@ -395,6 +412,9 @@ class ParallelFFTMatvec:
             grid.pr, net=grid.net, clock=None, span=col_span, name="col_silent",
             backend=self.backend,
         )
+        if validate:
+            self._silent_row.verify_payloads = True
+            self._silent_col.verify_payloads = True
         # All columns' (rows') collectives run concurrently; the one with
         # the widest payload gates the wall, so that index is the timed
         # one.  Balanced ceil-splits put the extra elements first, making
@@ -423,6 +443,25 @@ class ParallelFFTMatvec:
         self.grid.install_failure_schedule(schedule)
         self._silent_row.install_failure_schedule(schedule)
         self._silent_col.install_failure_schedule(schedule)
+
+    def install_corruption_schedule(self, schedule) -> None:
+        """Attach a :class:`~repro.comm.fault.CorruptionSchedule` to the
+        whole engine: every grid communicator (and the silent clones)
+        counts its collectives as corruption events, and every rank
+        engine counts its FFT/SBGEMM/IFFT device stages — one shared
+        deterministic event sequence, exactly like
+        :meth:`install_failure_schedule`.  Installing also arms payload
+        digests and the per-engine abft checks, so every scheduled flip
+        has a detector downstream.  Pass ``None`` to disarm injection
+        (checks stay as configured by ``validate=``).
+        """
+        self.grid.install_corruption_schedule(schedule)
+        self._silent_row.install_corruption_schedule(schedule)
+        self._silent_col.install_corruption_schedule(schedule)
+        for (r, c), engine in self.engines.items():
+            engine.install_corruption_schedule(
+                schedule, rank=self.grid.rank_of(r, c)
+            )
 
     # -- partition introspection ---------------------------------------------
     @property

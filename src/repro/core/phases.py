@@ -26,6 +26,7 @@ from repro.core.reorder import transpose_into
 from repro.gpu.bandwidth import stream_efficiency
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
+from repro.util import checksum as _chk
 from repro.util.dtypes import Precision, real_dtype
 from repro.util.validation import ReproError
 from repro.util.workspace import Workspace
@@ -64,6 +65,8 @@ def pad_to_soti(
     phase: str = "pad",
     workspace: Optional[Workspace] = None,
     backend: Optional[Backend] = None,
+    validate: bool = False,
+    rank: Optional[int] = None,
 ) -> Any:
     """Phase-1 kernel: (Nt, nx) time-outer -> (nx, 2*Nt) padded SOTI.
 
@@ -71,7 +74,11 @@ def pad_to_soti(
     fused into the pad kernel's writes.  With a ``workspace`` the output
     is a checked-out arena buffer: the data half is fully overwritten
     and only the padding half is re-zeroed, no allocation at steady
-    state.
+    state.  ``validate=True`` runs the numerical-health guard on the
+    produced buffer and raises
+    :class:`~repro.util.checksum.NumericalHealthError` naming this
+    phase (and ``rank`` when supplied) if anything non-finite crossed
+    the boundary.
     """
     be = backend if backend is not None else _NUMPY
     a = be.asarray(v)
@@ -94,6 +101,8 @@ def pad_to_soti(
     # spatial point's time series followed by Nt zeros (the tiled copy
     # casts on the write side — no staging temporary).
     transpose_into(out[:, :nt], a, be)
+    if validate:
+        _chk.ensure_finite(be.from_device(out), phase=phase, rank=rank, what="pad output")
     _charge(
         device,
         "pad_zero",
@@ -114,13 +123,16 @@ def unpad_from_soti(
     workspace: Optional[Workspace] = None,
     out: Optional[Any] = None,
     backend: Optional[Backend] = None,
+    validate: bool = False,
+    rank: Optional[int] = None,
 ) -> Any:
     """Phase-5 kernel: (nx, 2*Nt) padded SOTI -> (Nt, nx) time-outer.
 
     ``out`` (shape ``(nt, nx)``, dtype of the phase precision) writes the
     result into a caller-owned buffer; ``workspace`` writes into a
     checked-out arena buffer.  Both produce the bytes of the default
-    allocate-per-call path.
+    allocate-per-call path.  ``validate=True`` guards the output against
+    NaN/Inf exactly like :func:`pad_to_soti`.
     """
     be = backend if backend is not None else _NUMPY
     a = be.asarray(v)
@@ -143,6 +155,10 @@ def unpad_from_soti(
         transpose_into(out, a[:, :nt], be)
     else:
         out = be.astype(be.ascontiguous(be.transpose(a[:, :nt])), dt, copy=False)
+    if validate:
+        _chk.ensure_finite(
+            be.from_device(out), phase=phase, rank=rank, what="unpad output"
+        )
     _charge(
         device,
         "unpad",

@@ -39,6 +39,7 @@ from repro.backend import Backend, NumpyBackend
 from repro.gpu.bandwidth import stream_efficiency
 from repro.gpu.device import SimulatedDevice
 from repro.gpu.kernel import Dim3, KernelLaunch
+from repro.util import checksum as _chk
 from repro.util.dtypes import Precision, complex_dtype, real_dtype
 from repro.util.validation import ReproError, check_positive_int
 from repro.util.workspace import Workspace
@@ -263,6 +264,54 @@ class FFTPlan:
         self.executions += 1
         self._charge(phase)
         return out
+
+    # -- energy verification ---------------------------------------------------
+    def verify_forward_energy(
+        self,
+        x: Any,
+        X: Any,
+        phase: str = "fft",
+        rank: Optional[int] = None,
+        context: str = "",
+    ) -> None:
+        """Parseval check of a real forward transform this plan computed.
+
+        ``sum(x^2)`` must equal the Hermitian-weighted half-spectrum
+        power over ``n``; raises
+        :class:`~repro.util.checksum.SilentCorruption` on mismatch.
+        Called *after* the engines' corruption-injection sites so an
+        injected flip in either buffer is detected, not masked.
+        """
+        _chk.verify_forward_energy(
+            self.backend.from_device(x),
+            self.backend.from_device(X),
+            self.n,
+            phase=phase,
+            rank=rank,
+            context=context,
+        )
+
+    def verify_inverse_energy(
+        self,
+        X: Any,
+        out: Any,
+        phase: str = "ifft",
+        rank: Optional[int] = None,
+        context: str = "",
+    ) -> None:
+        """Parseval check of an *unnormalized* real inverse transform.
+
+        This plan returns ``n`` times the mathematical inverse, so the
+        identity is ``sum(out^2) == n * weighted(|X|^2)``.
+        """
+        _chk.verify_inverse_energy(
+            self.backend.from_device(X),
+            self.backend.from_device(out),
+            self.n,
+            phase=phase,
+            rank=rank,
+            context=context,
+        )
 
 
 def plan_many(

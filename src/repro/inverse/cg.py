@@ -36,6 +36,7 @@ import numpy as np
 from repro.util.validation import ReproError
 
 __all__ = [
+    "CGBreakdownError",
     "CGResult",
     "CGState",
     "conjugate_gradient",
@@ -43,6 +44,27 @@ __all__ = [
     "BlockCGState",
     "block_conjugate_gradient",
 ]
+
+
+class CGBreakdownError(ReproError):
+    """CG recurrence breakdown, carrying a restartable state snapshot.
+
+    ``kind`` says what broke: ``"non_spd"`` (non-positive curvature —
+    the operator is not SPD), ``"rho_breakdown"`` (a recurrence scalar
+    went non-finite, the signature of NaN/Inf leaking out of the
+    operator), or ``"stagnation"`` (no residual progress over
+    ``stagnation_window`` iterations).  ``state`` is the last *healthy*
+    iteration-boundary snapshot (:class:`CGState` /
+    :class:`BlockCGState`) — persist it through
+    :class:`repro.util.checkpoint.CheckpointStore` and pass it back via
+    ``resume=`` to restart (e.g. after rebuilding a corrupted engine)
+    without repaying the completed iterations.
+    """
+
+    def __init__(self, kind: str, detail: str, state=None) -> None:
+        super().__init__(detail)
+        self.kind = kind
+        self.state = state
 
 
 @dataclass
@@ -128,12 +150,16 @@ def conjugate_gradient(
     resume: Optional[CGState] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint: Optional[Callable[[CGState], None]] = None,
+    stagnation_window: Optional[int] = None,
 ) -> CGResult:
     """Solve ``operator(x) = rhs`` for an SPD operator.
 
-    Converges when ``||r|| <= tol * ||rhs||``.  Raises if the operator
-    produces a direction of non-positive curvature (not SPD) — with the
-    regularized Hessian that indicates a bug, not a property.
+    Converges when ``||r|| <= tol * ||rhs||``.  Breakdown — non-positive
+    curvature (not SPD; with the regularized Hessian that indicates a
+    bug, not a property), a non-finite recurrence scalar, or (when
+    ``stagnation_window`` is set) ``stagnation_window`` iterations with
+    no residual decrease — raises :class:`CGBreakdownError` carrying the
+    last healthy :class:`CGState` for a ``resume=`` restart.
 
     ``resume=`` continues from a :class:`CGState` (``rhs`` must be the
     same right-hand side; ``x0`` is ignored).  ``checkpoint_every=n``
@@ -142,6 +168,10 @@ def conjugate_gradient(
     b = np.asarray(rhs, dtype=np.float64)
     if checkpoint_every is not None and checkpoint_every < 1:
         raise ReproError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if stagnation_window is not None and stagnation_window < 1:
+        raise ReproError(
+            f"stagnation_window must be >= 1, got {stagnation_window}"
+        )
     if resume is not None:
         if resume.x.shape != b.shape:
             raise ReproError(
@@ -170,18 +200,44 @@ def conjugate_gradient(
     if norms[-1] <= tol * bnorm:
         return CGResult(x=x, converged=True, iterations=start, residual_norms=norms)
 
+    def _snapshot(iteration: int) -> CGState:
+        # x/r/p are rebound (never mutated in place) each iteration, so
+        # at any raise site they still hold the last boundary's values.
+        return CGState(
+            x=x.copy(), r=r.copy(), p=p.copy(), rs=rs, bnorm=bnorm,
+            norms=list(norms), iteration=iteration,
+        )
+
     for it in range(start + 1, maxiter + 1):
         Ap = operator(p)
         curvature = _dot(p, Ap)
+        if not np.isfinite(curvature):
+            raise CGBreakdownError(
+                "rho_breakdown",
+                f"CG curvature went non-finite ({curvature:g}) at iter {it}; "
+                "the operator returned NaN/Inf",
+                state=_snapshot(it - 1),
+            )
         if curvature <= 0.0:
-            raise ReproError(
+            raise CGBreakdownError(
+                "non_spd",
                 f"CG detected non-positive curvature {curvature:g} at iter {it}; "
-                "the operator is not SPD"
+                "the operator is not SPD",
+                state=_snapshot(it - 1),
             )
         alpha = rs / curvature
+        x_prev, r_prev = x, r
         x = x + alpha * p
         r = r - alpha * Ap
         rs_new = _dot(r, r)
+        if not np.isfinite(rs_new):
+            x, r = x_prev, r_prev  # discard the poisoned update
+            raise CGBreakdownError(
+                "rho_breakdown",
+                f"CG residual norm went non-finite at iter {it}; "
+                "the operator returned NaN/Inf",
+                state=_snapshot(it - 1),
+            )
         norms.append(float(np.sqrt(rs_new)))
         if callback is not None:
             callback(it, norms[-1])
@@ -190,21 +246,22 @@ def conjugate_gradient(
         p = r + (rs_new / rs) * p
         rs = rs_new
         if (
+            stagnation_window is not None
+            and len(norms) > stagnation_window
+            and norms[-1] >= norms[-1 - stagnation_window]
+        ):
+            raise CGBreakdownError(
+                "stagnation",
+                f"CG made no residual progress over {stagnation_window} "
+                f"iterations (||r|| {norms[-1]:.3e} at iter {it})",
+                state=_snapshot(it),
+            )
+        if (
             checkpoint is not None
             and checkpoint_every is not None
             and it % checkpoint_every == 0
         ):
-            checkpoint(
-                CGState(
-                    x=x.copy(),
-                    r=r.copy(),
-                    p=p.copy(),
-                    rs=rs,
-                    bnorm=bnorm,
-                    norms=list(norms),
-                    iteration=it,
-                )
-            )
+            checkpoint(_snapshot(it))
 
     return CGResult(x=x, converged=False, iterations=maxiter, residual_norms=norms)
 
@@ -300,6 +357,7 @@ def block_conjugate_gradient(
     resume: Optional[BlockCGState] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint: Optional[Callable[[BlockCGState], None]] = None,
+    stagnation_window: Optional[int] = None,
 ) -> BlockCGResult:
     """Solve ``operator(X) = RHS`` column-wise for an SPD block operator.
 
@@ -309,8 +367,11 @@ def block_conjugate_gradient(
     blocked pipeline pass for all k systems.  Column ``j`` converges when
     ``||r_j|| <= tol * ||rhs_j||`` and is frozen from then on, so its
     iterate matches what :func:`conjugate_gradient` would return for the
-    same column (up to rounding).  Raises on non-positive curvature in
-    any active column, as the vector solver does.
+    same column (up to rounding).  Breakdown in any active column —
+    non-positive or non-finite curvature, a non-finite residual, or
+    ``stagnation_window`` iterations with no progress in any active
+    column — raises :class:`CGBreakdownError` with the last healthy
+    :class:`BlockCGState`, as the vector solver does.
 
     ``resume=`` continues from a :class:`BlockCGState` captured by a
     ``checkpoint=`` callback (see ``checkpoint_every``).  The resumed
@@ -326,6 +387,10 @@ def block_conjugate_gradient(
         )
     if checkpoint_every is not None and checkpoint_every < 1:
         raise ReproError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if stagnation_window is not None and stagnation_window < 1:
+        raise ReproError(
+            f"stagnation_window must be >= 1, got {stagnation_window}"
+        )
     k = B.shape[-1]
     if resume is not None:
         if resume.X.shape != B.shape:
@@ -370,17 +435,34 @@ def block_conjugate_gradient(
     # allocation-free: for wide blocks the vector updates otherwise cost
     # a noticeable fraction of the shared operator action they amortize.
     scratch = np.empty_like(B)
+
+    def _snapshot(iteration: int) -> BlockCGState:
+        return BlockCGState(
+            X=X.copy(), R=R.copy(), P=P.copy(), rs=rs.copy(),
+            bnorm=bnorm.copy(), converged=converged.copy(),
+            norms=[n.copy() for n in norms], iteration=iteration,
+        )
+
     for it in range(start + 1, maxiter + 1):
         # Frozen columns keep a zero search direction, so the shared
         # operator action does no stale work on their behalf.
         active = ~converged
         AP = operator(P)
         curvature = _col_dots(P, AP)
+        if not np.all(np.isfinite(curvature[active])):
+            raise CGBreakdownError(
+                "rho_breakdown",
+                f"block CG curvature went non-finite at iter {it}; "
+                "the operator returned NaN/Inf",
+                state=_snapshot(it - 1),
+            )
         if np.any(curvature[active] <= 0.0):
             bad = float(np.min(curvature[active]))
-            raise ReproError(
+            raise CGBreakdownError(
+                "non_spd",
                 f"block CG detected non-positive curvature {bad:g} at iter "
-                f"{it}; the operator is not SPD"
+                f"{it}; the operator is not SPD",
+                state=_snapshot(it - 1),
             )
         alpha = np.where(active, rs / np.where(active, curvature, 1.0), 0.0)
         np.multiply(P, alpha, out=scratch)
@@ -388,6 +470,19 @@ def block_conjugate_gradient(
         np.multiply(AP, alpha, out=scratch)
         R -= scratch
         rs_new = _col_dots(R, R)
+        if not np.all(np.isfinite(rs_new[active])):
+            # Undo the poisoned in-place update so the snapshot holds
+            # the last healthy boundary: scratch still carries AP*alpha
+            # (the R update), and P/alpha re-derive the X update.
+            R += scratch
+            np.multiply(P, alpha, out=scratch)
+            X -= scratch
+            raise CGBreakdownError(
+                "rho_breakdown",
+                f"block CG residual norm went non-finite at iter {it}; "
+                "the operator returned NaN/Inf",
+                state=_snapshot(it - 1),
+            )
         norms.append(np.where(active, np.sqrt(rs_new), norms[-1]))
         if callback is not None:
             callback(it, norms[-1])
@@ -406,23 +501,21 @@ def block_conjugate_gradient(
         P += R
         P[..., converged] = 0.0
         rs = rs_new
+        if stagnation_window is not None and len(norms) > stagnation_window:
+            still = ~converged
+            if np.all(norms[-1][still] >= norms[-1 - stagnation_window][still]):
+                raise CGBreakdownError(
+                    "stagnation",
+                    f"block CG made no residual progress in any active column "
+                    f"over {stagnation_window} iterations (iter {it})",
+                    state=_snapshot(it),
+                )
         if (
             checkpoint is not None
             and checkpoint_every is not None
             and it % checkpoint_every == 0
         ):
-            checkpoint(
-                BlockCGState(
-                    X=X.copy(),
-                    R=R.copy(),
-                    P=P.copy(),
-                    rs=rs.copy(),
-                    bnorm=bnorm.copy(),
-                    converged=converged.copy(),
-                    norms=[n.copy() for n in norms],
-                    iteration=it,
-                )
-            )
+            checkpoint(_snapshot(it))
 
     return BlockCGResult(
         X=X, converged=converged, iterations=maxiter, residual_norms=norms

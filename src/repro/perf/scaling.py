@@ -32,6 +32,7 @@ from repro.core.precision import PrecisionConfig
 from repro.gpu.specs import GPUSpec, MI250X_GCD, get_gpu
 from repro.perf.phase_model import (
     block_phase_times,
+    checksum_overhead_model,
     overlapped_chunk_schedule,
     phase_times,
     recovery_cost_model,
@@ -509,6 +510,14 @@ class ScalingPoint:
     Young/Daly checkpoint model
     (:func:`~repro.perf.phase_model.recovery_cost_model`).  They default
     to 0.0 / 1.0 when the sweep ran without an MTBF.
+
+    ``checksum_overhead`` / ``sdc_coverage`` are the silent-data-
+    corruption defense columns
+    (:func:`~repro.perf.phase_model.checksum_overhead_model` on the
+    local blocked apply at the mixed config): the modeled fractional
+    cost of running ABFT + Parseval checks on every apply, and the
+    fraction of apply time a detector guards.  Both are 0.0 when the
+    sweep ran with ``checksums=False``.
     """
 
     p: int
@@ -526,6 +535,8 @@ class ScalingPoint:
     time_mixed_overlap3: float = 0.0
     system_mtbf_s: float = 0.0
     recovery_slowdown: float = 1.0
+    checksum_overhead: float = 0.0
+    sdc_coverage: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -583,6 +594,7 @@ def scaling_sweep(
     job_s: float = 3600.0,
     checkpoint_s: float = 0.5,
     restart_s: float = 5.0,
+    checksums: bool = False,
 ) -> list:
     """The Figure-4 time/speedup series over GPU counts.
 
@@ -606,6 +618,12 @@ def scaling_sweep(
     ``checkpoint_s`` per snapshot and ``restart_s`` per grid rebuild).
     The slowdown grows with ``p`` even though per-matvec time shrinks —
     the cost of riding an elastic grid at scale.
+
+    ``checksums=True`` adds the SDC-defense columns: the modeled
+    fractional cost of ABFT + Parseval checks on the local blocked
+    apply and the fraction of apply time they guard
+    (:func:`~repro.perf.phase_model.checksum_overhead_model` at the
+    mixed config and local extents of each point).
     """
     points = []
     for i, p in enumerate(gpu_counts):
@@ -626,6 +644,15 @@ def scaling_sweep(
             nm_per_gpu=nm_per_gpu, nd=nd, nt=nt, spec=spec, net=net,
             host=host,
         )
+        if checksums:
+            _, nm_local, nd_local = _local_extents(p, pr, nm_per_gpu, nd)
+            ck = checksum_overhead_model(
+                nm_local, nd_local, nt,
+                max_block_k if max_block_k is not None else k,
+                cfg, spec,
+            )
+        else:
+            ck = None
         points.append(
             ScalingPoint(
                 p=p,
@@ -658,6 +685,8 @@ def scaling_sweep(
                     if mtbf_per_gpu_s is not None
                     else 1.0
                 ),
+                checksum_overhead=ck["fraction"] if ck is not None else 0.0,
+                sdc_coverage=ck["coverage"] if ck is not None else 0.0,
             )
         )
     return points

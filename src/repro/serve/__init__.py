@@ -22,6 +22,7 @@ from repro.serve.cache import (
     operator_fingerprint,
 )
 from repro.serve.service import (
+    DeadlineExpiredError,
     ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
@@ -45,5 +46,6 @@ __all__ = [
     "ServiceClosedError",
     "ServiceOverloadedError",
     "TenantThrottledError",
+    "DeadlineExpiredError",
     "UnknownOperatorError",
 ]

@@ -57,7 +57,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.matvec import FFTMatvec
-from repro.comm.fault import RankFailure
+from repro.comm.fault import RankFailure, SilentCorruption
 from repro.core.operator import ForwardOperator, GaussNewtonHessian, IdentityOperator
 from repro.core.precision import PrecisionConfig
 from repro.core.toeplitz import BlockTriangularToeplitz
@@ -69,6 +69,7 @@ __all__ = [
     "ServiceClosedError",
     "ServiceOverloadedError",
     "TenantThrottledError",
+    "DeadlineExpiredError",
     "UnknownOperatorError",
     "SolveOptions",
     "ServiceStats",
@@ -90,6 +91,10 @@ class ServiceOverloadedError(ServeError):
 
 class TenantThrottledError(ServeError):
     """A tenant exceeded its per-tenant max-inflight cap."""
+
+
+class DeadlineExpiredError(ServeError):
+    """A request's ``deadline_s`` elapsed before its flush ran."""
 
 
 class UnknownOperatorError(ServeError):
@@ -128,6 +133,9 @@ class ServiceStats:
     rank_failures: int = 0  # flushes whose engine died mid-pass
     flush_retries: int = 0  # retry passes issued after an engine death
     budget_exhausted: int = 0  # requests failed by the tenant failure budget
+    deadline_expired: int = 0  # requests dropped because their deadline passed
+    sdc_detections: int = 0  # flushes that tripped a silent-corruption check
+    sdc_rebuilds: int = 0  # engine evictions forced by repeat-offender tenants
     latencies_s: List[float] = field(default_factory=list)  # per request
 
     @property
@@ -145,6 +153,7 @@ class _Request:
     future: "asyncio.Future[np.ndarray]"
     t_submit: float
     seq: int
+    deadline: Optional[float] = None  # absolute perf_counter time, or None
 
 
 # A coalescing group: requests here may share one blocked apply.  The
@@ -184,6 +193,12 @@ class SolverService:
         GEMM whose columns match sequential applies only to rounding.
         Every request can override per call; requests only coalesce
         with requests that *resolved* to the same mode.
+    sdc_escalation_threshold:
+        A tenant whose flushes trip this many silent-corruption
+        detections is treated as a repeat offender: the flush's engine
+        is evicted so the retry rebuilds it from scratch (counted in
+        ``sdc_rebuilds``).  Below the threshold a detection just retries
+        on the same engine — the corrupted buffer was transient.
     """
 
     def __init__(
@@ -198,6 +213,7 @@ class SolverService:
         max_flush_retries: int = 2,
         retry_backoff_s: float = 0.0,
         tenant_failure_budget: Optional[int] = None,
+        sdc_escalation_threshold: int = 2,
     ) -> None:
         if max_block_k < 1:
             raise ReproError(f"max_block_k must be >= 1, got {max_block_k}")
@@ -218,6 +234,11 @@ class SolverService:
                 "tenant_failure_budget must be >= 0, got "
                 f"{tenant_failure_budget}"
             )
+        if sdc_escalation_threshold < 1:
+            raise ReproError(
+                "sdc_escalation_threshold must be >= 1, got "
+                f"{sdc_escalation_threshold}"
+            )
         for tenant, w in (tenant_weights or {}).items():
             if w <= 0:
                 raise ReproError(f"tenant {tenant!r} weight must be > 0, got {w}")
@@ -231,7 +252,9 @@ class SolverService:
         self.max_flush_retries = int(max_flush_retries)
         self.retry_backoff_s = float(retry_backoff_s)
         self.tenant_failure_budget = tenant_failure_budget
+        self.sdc_escalation_threshold = int(sdc_escalation_threshold)
         self._tenant_failures: Dict[str, int] = {}
+        self._tenant_sdc: Dict[str, int] = {}
 
         self._builders: Dict[str, Callable[[], Any]] = {}
         self._shapes: Dict[str, Tuple[int, int, int]] = {}
@@ -293,16 +316,22 @@ class SolverService:
         config: Union[str, PrecisionConfig] = "ddddd",
         tenant: str = "default",
         deterministic: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """``d = F m`` for one tenant; may share a blocked pass with
         concurrent requests on the same handle/config and resolved
         determinism mode (bitwise-identical to an uncoalesced apply in
         deterministic mode).  ``deterministic`` overrides the service
-        default for this request only."""
+        default for this request only.  ``deadline_s`` is a per-request
+        latency budget: a request still queued (or awaiting a retry)
+        when it expires is dropped from its coalescing group and fails
+        with :class:`DeadlineExpiredError` instead of riding a flush
+        whose result nobody wants."""
         nt, nd, nm = self._shape(handle)
         payload = self._as_block(m, (nt, nm), "matvec input")
         return await self._submit(
-            "matvec", handle, payload, config, tenant, None, deterministic
+            "matvec", handle, payload, config, tenant, None, deterministic,
+            deadline_s,
         )
 
     async def rmatvec(
@@ -312,14 +341,16 @@ class SolverService:
         config: Union[str, PrecisionConfig] = "ddddd",
         tenant: str = "default",
         deterministic: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """``m = F* d`` for one tenant (adjoint of :meth:`matvec`, same
         coalescing, bitwise guarantees and per-request ``deterministic``
-        override)."""
+        / ``deadline_s`` semantics)."""
         nt, nd, nm = self._shape(handle)
         payload = self._as_block(d, (nt, nd), "rmatvec input")
         return await self._submit(
-            "rmatvec", handle, payload, config, tenant, None, deterministic
+            "rmatvec", handle, payload, config, tenant, None, deterministic,
+            deadline_s,
         )
 
     async def solve(
@@ -330,6 +361,7 @@ class SolverService:
         tenant: str = "default",
         options: Optional[SolveOptions] = None,
         deterministic: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Regularized least-squares solve for one tenant.
 
@@ -344,7 +376,8 @@ class SolverService:
         payload = self._as_block(d, (nt, nd), "solve input")
         opts = options if options is not None else SolveOptions()
         return await self._submit(
-            "solve", handle, payload, config, tenant, opts, deterministic
+            "solve", handle, payload, config, tenant, opts, deterministic,
+            deadline_s,
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -381,6 +414,10 @@ class SolverService:
         """Rank failures charged to each tenant so far (a copy)."""
         return dict(self._tenant_failures)
 
+    def tenant_sdc_detections(self) -> Dict[str, int]:
+        """Silent-corruption detections charged per tenant (a copy)."""
+        return dict(self._tenant_sdc)
+
     # -- submission internals -------------------------------------------------
     def _shape(self, handle: str) -> Tuple[int, int, int]:
         if handle not in self._shapes:
@@ -405,7 +442,10 @@ class SolverService:
         tenant: str,
         options: Optional[SolveOptions],
         deterministic: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ReproError(f"deadline_s must be > 0, got {deadline_s}")
         if self._closed:
             raise ServiceClosedError("service is closed")
         if handle not in self._builders:
@@ -427,12 +467,14 @@ class SolverService:
         loop = asyncio.get_running_loop()
         fut: "asyncio.Future[np.ndarray]" = loop.create_future()
         self._seq += 1
+        t_submit = time.perf_counter()
         req = _Request(
             tenant=tenant,
             payload=payload,
             future=fut,
-            t_submit=time.perf_counter(),
+            t_submit=t_submit,
             seq=self._seq,
+            deadline=None if deadline_s is None else t_submit + deadline_s,
         )
         det = self.deterministic if deterministic is None else bool(deterministic)
         gkey: _GroupKey = (
@@ -521,6 +563,31 @@ class SolverService:
         return take
 
     # -- flushing -------------------------------------------------------------
+    def _drop_expired(self, batch: List[_Request]) -> List[_Request]:
+        """Fail requests whose deadline passed; return the live rest.
+
+        Runs right before the engine pass (and before every retry pass)
+        so an expired request never occupies a flush column — its
+        tenant already stopped waiting for the answer.
+        """
+        now = time.perf_counter()
+        live: List[_Request] = []
+        for req in batch:
+            if req.deadline is not None and now > req.deadline:
+                self._stats.deadline_expired += 1
+                self._stats.failed += 1
+                if not req.future.done():
+                    req.future.set_exception(
+                        DeadlineExpiredError(
+                            f"request from tenant {req.tenant!r} exceeded its "
+                            f"{req.deadline - req.t_submit:.3g}s deadline "
+                            "before its flush ran"
+                        )
+                    )
+            else:
+                live.append(req)
+        return live
+
     async def _flush(self, gkey: _GroupKey) -> None:
         if gkey in self._flushing:
             return  # the in-flight pass re-dispatches on completion
@@ -538,6 +605,9 @@ class SolverService:
         attempt = 0
         try:
             while batch:
+                batch = self._drop_expired(batch)
+                if not batch:
+                    break
                 try:
                     columns = await loop.run_in_executor(
                         self._executor, self._execute, gkey, batch
@@ -568,6 +638,37 @@ class SolverService:
                     batch = survivors
                     if not batch:
                         break
+                    if attempt > self.max_flush_retries:
+                        for req in batch:
+                            if not req.future.done():
+                                req.future.set_exception(exc)
+                        self._stats.failed += len(batch)
+                        break
+                    self._stats.flush_retries += 1
+                    if self.retry_backoff_s > 0:
+                        await asyncio.sleep(
+                            self.retry_backoff_s * (2 ** (attempt - 1))
+                        )
+                    continue
+                except SilentCorruption as exc:
+                    # A checksum tripped under this batch.  The engine
+                    # itself is fine — the flip lived in a transient
+                    # buffer — so by default just retry the pass on the
+                    # same engine.  Tenants whose flushes keep tripping
+                    # checks are escalated: past the threshold the
+                    # engine is evicted and rebuilt from scratch, in
+                    # case the corruption is resident (spectra, arenas).
+                    self._stats.sdc_detections += 1
+                    attempt += 1
+                    escalate = False
+                    for req in batch:
+                        n = self._tenant_sdc.get(req.tenant, 0) + 1
+                        self._tenant_sdc[req.tenant] = n
+                        if n >= self.sdc_escalation_threshold:
+                            escalate = True
+                    if escalate and gkey[0] in self.cache:
+                        self.cache.evict(gkey[0])
+                        self._stats.sdc_rebuilds += 1
                     if attempt > self.max_flush_retries:
                         for req in batch:
                             if not req.future.done():

@@ -62,6 +62,26 @@ def failure_schedule(chaos_seed):
     return make
 
 
+@pytest.fixture
+def corruption_schedule(chaos_seed):
+    """Factory for seeded :class:`repro.comm.fault.CorruptionSchedule`\\ s.
+
+    ``corruption_schedule(size)`` draws bit-flip points from this test's
+    ``chaos_seed``; keyword args pass through to
+    :meth:`CorruptionSchedule.seeded` (``n_flips``, ``horizon``,
+    ``first``, ``bit``).  An explicit ``seed=`` overrides the fixture
+    seed for tests that loop over many schedules.
+    """
+    from repro.comm.fault import CorruptionSchedule
+
+    def make(size: int, seed: int | None = None, **kwargs) -> CorruptionSchedule:
+        return CorruptionSchedule.seeded(
+            chaos_seed if seed is None else seed, size, **kwargs
+        )
+
+    return make
+
+
 def rel_err(a: np.ndarray, b: np.ndarray) -> float:
     """Relative L2 error ||a - b|| / ||b|| (0 if both zero)."""
     denom = float(np.linalg.norm(b))

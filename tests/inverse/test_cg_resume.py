@@ -12,6 +12,7 @@ import pytest
 
 from repro.inverse.cg import (
     BlockCGState,
+    CGBreakdownError,
     CGState,
     block_conjugate_gradient,
     conjugate_gradient,
@@ -278,3 +279,154 @@ class TestRandomizedEigResume:
                 fingerprint="bbbb",
                 resume=True,
             )
+
+
+def _poisoned(A, healthy_calls):
+    """Operator that returns NaN after ``healthy_calls`` applications —
+    the signature of an undetected engine corruption leaking into CG."""
+    calls = {"n": 0}
+
+    def op(x):
+        calls["n"] += 1
+        if calls["n"] > healthy_calls:
+            return np.full_like(np.asarray(A @ x), np.nan)
+        return A @ x
+
+    return op
+
+
+def _stalled(A, healthy_calls, scale=0.01):
+    """Operator that goes quietly wrong after ``healthy_calls``: each
+    application leaks a small error *orthogonal to the input direction*,
+    so the curvature ``p @ op(p)`` is exactly A's (non_spd can never
+    fire) while the residual recurrence floors at the leak's absolute
+    scale instead of converging — the stall a stagnation window exists
+    to catch."""
+    calls = {"n": 0}
+    n = A.shape[0]
+    u = np.ones(n) / np.sqrt(n)
+
+    def op(x):
+        calls["n"] += 1
+        y = np.asarray(A @ x).copy()
+        if calls["n"] <= healthy_calls:
+            return y
+        cols = y.reshape(n, -1)
+        xs = np.asarray(x).reshape(n, -1)
+        for j in range(cols.shape[1]):
+            nx = float(np.linalg.norm(xs[:, j]))
+            if nx > 0:
+                xh = xs[:, j] / nx
+                cols[:, j] += scale * (u - float(u @ xh) * xh)
+        return y
+
+    return op
+
+
+class TestVectorCGBreakdown:
+    def test_non_spd_raises_typed(self, spd):
+        A, b, _ = spd
+        with pytest.raises(CGBreakdownError) as ei:
+            conjugate_gradient(lambda x: -(A @ x), b, tol=TOL)
+        assert ei.value.kind == "non_spd"
+        assert "not SPD" in str(ei.value)
+        assert isinstance(ei.value.state, CGState)
+        assert ei.value.state.iteration == 0
+
+    def test_rho_breakdown_carries_healthy_state(self, spd):
+        A, b, _ = spd
+        full = conjugate_gradient(_op(A), b, tol=TOL)
+        assert full.converged and full.iterations > 6
+        # Poison the operator mid-solve: init consumes one call, each
+        # iteration one more, so 1 + 5 healthy calls dies at iter 6.
+        with pytest.raises(CGBreakdownError) as ei:
+            conjugate_gradient(_poisoned(A, 6), b, tol=TOL)
+        err = ei.value
+        assert err.kind == "rho_breakdown"
+        state = err.state
+        assert isinstance(state, CGState)
+        assert state.iteration == 5
+        assert np.all(np.isfinite(state.x)) and np.all(np.isfinite(state.r))
+
+    def test_resume_after_breakdown_is_bitwise(self, spd):
+        """The recovery loop: breakdown state -> healthy operator ->
+        bitwise the uninterrupted solve."""
+        A, b, _ = spd
+        full = conjugate_gradient(_op(A), b, tol=TOL)
+        with pytest.raises(CGBreakdownError) as ei:
+            conjugate_gradient(_poisoned(A, 6), b, tol=TOL)
+        res = conjugate_gradient(_op(A), b, tol=TOL, resume=ei.value.state)
+        assert res.converged
+        assert res.iterations == full.iterations
+        assert np.array_equal(res.x, full.x)
+        assert res.residual_norms == full.residual_norms
+
+    def test_stagnation_detected(self, spd):
+        A, b, _ = spd
+        # A clean solve with the window armed must not false-positive.
+        clean = conjugate_gradient(_op(A), b, tol=TOL, stagnation_window=5)
+        assert clean.converged
+        # A quietly-leaking operator stalls the recurrence; the
+        # window turns the stall into a typed, restartable breakdown.
+        with pytest.raises(CGBreakdownError) as ei:
+            conjugate_gradient(
+                _stalled(A, 4), b, tol=TOL, maxiter=500,
+                stagnation_window=5,
+            )
+        err = ei.value
+        assert err.kind == "stagnation"
+        assert isinstance(err.state, CGState)
+        assert np.all(np.isfinite(err.state.x))
+
+    def test_stagnation_window_validation(self, spd):
+        A, b, _ = spd
+        with pytest.raises(ReproError):
+            conjugate_gradient(_op(A), b, stagnation_window=0)
+        with pytest.raises(ReproError):
+            block_conjugate_gradient(
+                _op(A), np.ones((N, 2)), stagnation_window=0
+            )
+
+
+class TestBlockCGBreakdown:
+    def test_non_spd_raises_typed(self, spd):
+        A, _, B_rhs = spd
+        with pytest.raises(CGBreakdownError) as ei:
+            block_conjugate_gradient(lambda M: -(A @ M), B_rhs, tol=TOL)
+        assert ei.value.kind == "non_spd"
+        assert "not SPD" in str(ei.value)
+        assert isinstance(ei.value.state, BlockCGState)
+
+    def test_resume_after_breakdown_is_bitwise(self, spd):
+        A, _, B_rhs = spd
+        full = block_conjugate_gradient(_op(A), B_rhs, tol=TOL)
+        assert np.all(full.converged)
+        with pytest.raises(CGBreakdownError) as ei:
+            block_conjugate_gradient(_poisoned(A, 6), B_rhs, tol=TOL)
+        err = ei.value
+        assert err.kind == "rho_breakdown"
+        state = err.state
+        assert isinstance(state, BlockCGState)
+        assert np.all(np.isfinite(state.X)) and np.all(np.isfinite(state.R))
+        res = block_conjugate_gradient(
+            _op(A), B_rhs, tol=TOL, resume=state
+        )
+        assert np.all(res.converged)
+        assert res.iterations == full.iterations
+        assert np.array_equal(res.X, full.X)
+
+    def test_stagnation_detected(self, spd):
+        A, _, B_rhs = spd
+        clean = block_conjugate_gradient(
+            _op(A), B_rhs, tol=TOL, stagnation_window=5
+        )
+        assert np.all(clean.converged)
+        with pytest.raises(CGBreakdownError) as ei:
+            block_conjugate_gradient(
+                _stalled(A, 4), B_rhs, tol=TOL, maxiter=500,
+                stagnation_window=5,
+            )
+        err = ei.value
+        assert err.kind == "stagnation"
+        assert isinstance(err.state, BlockCGState)
+        assert np.all(np.isfinite(err.state.X))

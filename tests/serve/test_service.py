@@ -15,6 +15,7 @@ from repro.core.operator import (
     IdentityOperator,
 )
 from repro.serve import (
+    DeadlineExpiredError,
     EngineCache,
     ServiceClosedError,
     ServiceOverloadedError,
@@ -187,6 +188,75 @@ class TestBackpressure:
             SolverService(cache, max_pending=0)
         with pytest.raises(ReproError):
             SolverService(cache, tenant_weights={"a": 0.0})
+
+
+class TestDeadlines:
+    def test_expired_request_dropped_before_flush(self):
+        async def main():
+            # The window holds the request well past its deadline; the
+            # flush must fail it instead of running it.
+            service, handle = make_service(window=10.0)
+            task = asyncio.ensure_future(
+                service.matvec(handle, np.ones((NT, NM)), deadline_s=0.01)
+            )
+            await asyncio.sleep(0.05)
+            await service.drain()
+            with pytest.raises(DeadlineExpiredError):
+                await task
+            assert service.stats().deadline_expired == 1
+            assert service.stats().flushes == 0  # nobody rode the pass
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_expired_request_does_not_starve_groupmates(self):
+        async def main():
+            service, handle = make_service(window=10.0)
+            doomed = asyncio.ensure_future(
+                service.matvec(handle, np.ones((NT, NM)), deadline_s=0.01)
+            )
+            alive = asyncio.ensure_future(
+                service.matvec(handle, 2.0 * np.ones((NT, NM)))
+            )
+            await asyncio.sleep(0.05)
+            await service.drain()
+            with pytest.raises(DeadlineExpiredError):
+                await doomed
+            got = await alive
+            ref = FFTMatvec(make_matrix()).matvec(2.0 * np.ones((NT, NM)))
+            assert np.array_equal(got, ref)
+            assert service.stats().deadline_expired == 1
+            assert service.stats().completed == 1
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_generous_deadline_completes(self):
+        async def main():
+            service, handle = make_service(window=0.0)
+            async with service:
+                got = await service.matvec(
+                    handle, np.ones((NT, NM)), deadline_s=30.0
+                )
+                assert got.shape == (NT, ND)
+            assert service.stats().deadline_expired == 0
+
+        asyncio.run(main())
+
+    def test_deadline_validation(self):
+        async def main():
+            service, handle = make_service()
+            async with service:
+                with pytest.raises(ReproError):
+                    await service.matvec(
+                        handle, np.ones((NT, NM)), deadline_s=0.0
+                    )
+                with pytest.raises(ReproError):
+                    await service.rmatvec(
+                        handle, np.ones((NT, ND)), deadline_s=-1.0
+                    )
+
+        asyncio.run(main())
 
 
 class TestCoalescingMechanics:
